@@ -1,0 +1,93 @@
+"""A1 — ablation: paper constants vs practical vs lean presets.
+
+The paper's constants (mass threshold 1/96, 66·log n rounds, σ = 16·log n)
+make the proofs go through; this ablation quantifies what they cost in
+schedule length and measured makespan, and confirms the asymptotic *shape*
+is preset-independent (same mechanisms, different constants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SUUInstance
+from repro.algorithms import LEAN, PAPER, PRACTICAL, suu_i_lp, suu_i_oblivious
+from repro.analysis import Table
+from repro.bounds import lower_bounds
+from repro.sim import estimate_makespan
+from repro.workloads import probability_matrix
+
+PRESETS = {"paper": PAPER, "practical": PRACTICAL, "lean": LEAN}
+
+
+def _sweep(rng):
+    rows = []
+    for name, constants in PRESETS.items():
+        for n in (8, 16):
+            p = probability_matrix(5, n, rng=np.random.default_rng(9000 + n))
+            inst = SUUInstance(p)
+            lb = lower_bounds(inst).best
+            result = suu_i_oblivious(inst, constants)
+            est = estimate_makespan(
+                inst, result.schedule, reps=60, rng=rng, max_steps=500_000
+            )
+            rows.append(
+                {
+                    "preset": name,
+                    "n": n,
+                    "core_length": result.finite_core.length,
+                    "mean_makespan": est.mean,
+                    "ratio_vs_lb": est.mean / lb,
+                    "rounds": result.certificates["rounds"],
+                }
+            )
+    return rows
+
+
+def _lp_gap(rng):
+    """Measured makespan of the Thm 4.5 LP schedule per preset."""
+    p = probability_matrix(5, 16, rng=np.random.default_rng(9016))
+    inst = SUUInstance(p)
+    out = {}
+    for name, constants in PRESETS.items():
+        result = suu_i_lp(inst, constants)
+        est = estimate_makespan(
+            inst, result.schedule, reps=60, rng=rng, max_steps=500_000
+        )
+        out[name] = est.mean
+    return [out]
+
+
+def test_a1_constants_ablation(benchmark, recorder, rng):
+    rows = benchmark.pedantic(_sweep, args=(rng,), rounds=1, iterations=1)
+    table = Table(
+        ["preset", "n", "core length", "E[makespan]", "ratio vs LB", "rounds"],
+        title="A1  SUU-I-OBL constants ablation",
+    )
+    for r in rows:
+        table.add_row(
+            [r["preset"], r["n"], r["core_length"], r["mean_makespan"], r["ratio_vs_lb"], r["rounds"]]
+        )
+        recorder.add(**r)
+    print("\n" + table.render())
+    by = {(r["preset"], r["n"]): r for r in rows}
+    # paper constants produce longer cores but still finish; lean shortest
+    ordering_ok = all(
+        by[("lean", n)]["core_length"]
+        <= by[("practical", n)]["core_length"]
+        <= by[("paper", n)]["core_length"]
+        for n in (8, 16)
+    )
+    # SUU-I-OBL's makespan barely notices the preset (the cyclic repetition
+    # hides the longer core); the LP route pays the σ-replication up front,
+    # so it is where the paper's constants actually bite — measure it there.
+    gap_rows = _lp_gap(rng)
+    for r in gap_rows:
+        recorder.add(kind="lp_gap", **r)
+    gap = gap_rows[0]["paper"] / gap_rows[0]["practical"]
+    print(f"\npaper/practical LP-route makespan gap at n=16: {gap:.1f}x")
+    recorder.add(kind="summary", paper_practical_gap=gap)
+    recorder.claim("length_ordering", ordering_ok)
+    recorder.claim("constant_gap_large", gap > 2.0)
+    assert ordering_ok
+    assert gap > 2.0

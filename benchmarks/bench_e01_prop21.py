@@ -1,0 +1,75 @@
+"""E1 — Proposition 2.1: the mass sandwich on success probabilities.
+
+Claim: for machine-probability vectors x with S = Σx_i ≤ 1,
+``S/e ≤ 1 − Π(1−x_i) ≤ S``, and both ends are asymptotically tight.
+This is the inequality every algorithm in the paper leans on; the bench
+sweeps vector families and reports the worst observed slack on each side.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core.mass import success_prob_product
+
+
+def _sweep(rng):
+    families = {
+        "uniform k=2": lambda: rng.uniform(0, 0.5, size=2),
+        "uniform k=8": lambda: rng.uniform(0, 0.125, size=8),
+        "skewed": lambda: np.array([0.9] + [0.01] * 5) * rng.uniform(0.1, 1.0),
+        "tiny probs": lambda: rng.uniform(0, 0.01, size=10),
+        "single": lambda: rng.uniform(0, 1, size=1),
+    }
+    rows = []
+    for name, gen in families.items():
+        min_upper_slack = math.inf  # S - q  (>= 0 required)
+        min_lower_slack = math.inf  # q - S/e (>= 0 required when S <= 1)
+        tight_upper = math.inf  # min of (S - q) / S  -> 0 means tight
+        for _ in range(20_000):
+            x = np.clip(gen(), 0.0, 1.0)
+            s = float(x.sum())
+            q = success_prob_product(x)
+            min_upper_slack = min(min_upper_slack, s - q)
+            if s > 1e-12:
+                tight_upper = min(tight_upper, (s - q) / s)
+            if s <= 1.0:
+                min_lower_slack = min(min_lower_slack, q - s / math.e)
+        rows.append(
+            {
+                "family": name,
+                "min_upper_slack": min_upper_slack,
+                "min_lower_slack": min_lower_slack,
+                "upper_rel_tightness": tight_upper,
+            }
+        )
+    return rows
+
+
+def test_e01_prop21_sandwich(benchmark, recorder, rng):
+    rows = benchmark.pedantic(_sweep, args=(rng,), rounds=1, iterations=1)
+    table = Table(
+        ["family", "min(S - q)", "min(q - S/e)", "min (S-q)/S"],
+        title="E1  Proposition 2.1 sandwich (20k samples per family)",
+        ndigits=6,
+    )
+    upper_ok = True
+    lower_ok = True
+    tight = False
+    for r in rows:
+        table.add_row(
+            [r["family"], r["min_upper_slack"], r["min_lower_slack"], r["upper_rel_tightness"]]
+        )
+        recorder.add(**r)
+        upper_ok &= r["min_upper_slack"] >= -1e-12
+        lower_ok &= r["min_lower_slack"] >= -1e-12
+        tight |= r["upper_rel_tightness"] < 0.01
+    print("\n" + table.render())
+    recorder.claim("upper_bound_holds", upper_ok)
+    recorder.claim("lower_bound_holds", lower_ok)
+    recorder.claim("upper_bound_tight_somewhere", tight)
+    assert upper_ok and lower_ok
+    assert tight, "expected near-tight upper bound for tiny probabilities"

@@ -1,0 +1,83 @@
+"""E4 — Lemma 3.4: MSM-E-ALG is a 1/3-approximation for MaxSumMass-Ext.
+
+Claim: for every length t, the greedy's capped mass is ≥ OPT_t/3.  The
+exact optimum is intractable, so we compare against the *fractional LP
+upper bound* (machine capacities t, per-job mass cap 1) — a bound at least
+as large as OPT_t, making the check conservative.  Also verifies the
+Lemma's running-time claim: cost is independent of t.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.msm import msm_e_alg
+from repro.analysis import Table
+from repro.lp.model import LinearProgram
+
+
+def _lp_upper_bound(p, t):
+    m, n = p.shape
+    lp = LinearProgram()
+    for i in range(m):
+        for j in range(n):
+            lp.add_var(("x", i, j), lb=0.0, obj=-p[i, j])
+    for i in range(m):
+        lp.add_le({("x", i, j): 1.0 for j in range(n)}, float(t))
+    for j in range(n):
+        lp.add_le({("x", i, j): p[i, j] for i in range(m)}, 1.0)
+    return -lp.solve().value
+
+
+def _sweep():
+    rows = []
+    for t in (1, 2, 4, 8, 16, 64):
+        worst = np.inf
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            p = rng.uniform(0.02, 0.9, size=(4, 6))
+            ub = _lp_upper_bound(p, t)
+            got = msm_e_alg(p, t).total_capped_mass
+            if ub > 1e-9:
+                worst = min(worst, got / ub)
+        rows.append({"t": t, "worst_ratio_vs_lp_ub": worst})
+    return rows
+
+
+def _timing_rows():
+    rows = []
+    rng = np.random.default_rng(0)
+    p = rng.uniform(0.02, 0.9, size=(8, 32))
+    for t in (10, 10_000, 10_000_000):
+        start = time.perf_counter()
+        msm_e_alg(p, t, build_schedule=False).x.sum()
+        elapsed = time.perf_counter() - start
+        rows.append({"t": t, "seconds": elapsed})
+    return rows
+
+
+def test_e04_msm_ext_ratio(benchmark, recorder):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["t", "worst ratio vs LP UB"],
+        title="E4  MSM-E-ALG vs fractional upper bound (Lemma 3.4: >= 1/3)",
+    )
+    ok = True
+    for r in rows:
+        table.add_row([r["t"], r["worst_ratio_vs_lp_ub"]])
+        recorder.add(**r)
+        ok &= r["worst_ratio_vs_lp_ub"] >= 1 / 3 - 1e-9
+    print("\n" + table.render())
+    timing = _timing_rows()
+    ttable = Table(["t", "seconds"], title="E4b  running time independent of t", ndigits=5)
+    for r in timing:
+        ttable.add_row([r["t"], r["seconds"]])
+        recorder.add(kind="timing", **r)
+    print("\n" + ttable.render())
+    # cost must not scale with t: a 10^6 x larger t within 10x the time
+    recorder.claim("ratio_one_third", ok)
+    time_ok = timing[-1]["seconds"] < 10 * max(timing[0]["seconds"], 1e-3)
+    recorder.claim("time_independent_of_t", time_ok)
+    assert ok and time_ok

@@ -1,0 +1,72 @@
+"""E6 — Theorem 3.6: SUU-I-OBL (Algorithm 2) is O(log² n) oblivious.
+
+Claims: (a) the oblivious ratio grows sub-polynomially; (b) adaptivity is
+never worse — SUU-I-ALG ≤ SUU-I-OBL on every instance (the price of
+obliviousness is nonnegative); (c) Algorithm 2's inner loop terminates far
+below the 66·log n round budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SUUInstance
+from repro.algorithms import PRACTICAL, suu_i_adaptive, suu_i_oblivious
+from repro.analysis import Table, loglog_slope, reference_makespan
+from repro.sim import estimate_makespan
+from repro.workloads import probability_matrix
+
+
+def _sweep(rng):
+    rows = []
+    for n in (8, 16, 32, 64):
+        obl_ratios, ada_ratios, rounds = [], [], []
+        for seed in range(3):
+            p = probability_matrix(5, n, rng=np.random.default_rng(2000 + seed))
+            inst = SUUInstance(p, name=f"n{n}s{seed}")
+            ref, kind = reference_makespan(inst, exact_limit=0)
+            result = suu_i_oblivious(inst, PRACTICAL)
+            est_o = estimate_makespan(
+                inst, result.schedule, reps=100, rng=rng, max_steps=100_000
+            )
+            est_a = estimate_makespan(
+                inst, suu_i_adaptive(inst).schedule, reps=100, rng=rng, max_steps=50_000
+            )
+            obl_ratios.append(est_o.mean / ref)
+            ada_ratios.append(est_a.mean / ref)
+            rounds.append(result.certificates["rounds"])
+        rows.append(
+            {
+                "n": n,
+                "oblivious_ratio": float(np.mean(obl_ratios)),
+                "adaptive_ratio": float(np.mean(ada_ratios)),
+                "rounds_used": float(np.mean(rounds)),
+                "round_budget": PRACTICAL.obl_round_limit(n),
+            }
+        )
+    return rows
+
+
+def test_e06_suu_i_obl(benchmark, recorder, rng):
+    rows = benchmark.pedantic(_sweep, args=(rng,), rounds=1, iterations=1)
+    table = Table(
+        ["n", "oblivious ratio", "adaptive ratio", "rounds used", "round budget"],
+        title="E6  SUU-I-OBL vs SUU-I-ALG (Thm 3.6 vs Thm 3.3)",
+    )
+    for r in rows:
+        table.add_row(
+            [r["n"], r["oblivious_ratio"], r["adaptive_ratio"], r["rounds_used"], r["round_budget"]]
+        )
+        recorder.add(**r)
+    slope = loglog_slope([r["n"] for r in rows], [r["oblivious_ratio"] for r in rows])
+    adaptivity_ok = all(r["adaptive_ratio"] <= r["oblivious_ratio"] + 0.05 for r in rows)
+    rounds_ok = all(r["rounds_used"] <= r["round_budget"] for r in rows)
+    print("\n" + table.render())
+    print(f"\noblivious ratio log-log slope: {slope:.3f}")
+    recorder.add(kind="fit", loglog_slope=slope)
+    recorder.claim("subpolynomial_growth", slope < 0.7)
+    recorder.claim("adaptive_never_worse", adaptivity_ok)
+    recorder.claim("rounds_within_budget", rounds_ok)
+    assert slope < 0.7
+    assert adaptivity_ok
+    assert rounds_ok

@@ -1,0 +1,76 @@
+"""E7 — Theorem 4.5: LP2-based oblivious schedules for independent jobs.
+
+Claims: (a) the measured rounding blow-up ``t̂/T*`` stays within
+``O(log min(n,m))`` (generous constant, shape checked by sweeping m);
+(b) end-to-end ratio beats SUU-I-OBL's on the same instances (the point of
+the LP route: one less log factor).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import SUUInstance
+from repro.algorithms import PRACTICAL, suu_i_lp, suu_i_oblivious
+from repro.analysis import Table, reference_makespan
+from repro.sim import estimate_makespan
+from repro.workloads import probability_matrix
+
+
+def _sweep(rng):
+    rows = []
+    n = 24
+    for m in (2, 4, 8, 16, 32):
+        blowups, lp_ratios, obl_ratios = [], [], []
+        for seed in range(3):
+            p = probability_matrix(m, n, rng=np.random.default_rng(3000 + seed), model="sparse")
+            inst = SUUInstance(p, name=f"m{m}s{seed}")
+            ref, _ = reference_makespan(inst, exact_limit=0)
+            lp_res = suu_i_lp(inst, PRACTICAL)
+            blowups.append(lp_res.certificates["blowup"])
+            est_lp = estimate_makespan(
+                inst, lp_res.schedule, reps=80, rng=rng, max_steps=200_000
+            )
+            obl_res = suu_i_oblivious(inst, PRACTICAL)
+            est_obl = estimate_makespan(
+                inst, obl_res.schedule, reps=80, rng=rng, max_steps=200_000
+            )
+            lp_ratios.append(est_lp.mean / ref)
+            obl_ratios.append(est_obl.mean / ref)
+        rows.append(
+            {
+                "m": m,
+                "mean_blowup": float(np.mean(blowups)),
+                "log_min_nm": math.log2(8 * min(n, m)),
+                "lp_ratio": float(np.mean(lp_ratios)),
+                "obl_ratio": float(np.mean(obl_ratios)),
+            }
+        )
+    return rows
+
+
+def test_e07_thm45(benchmark, recorder, rng):
+    rows = benchmark.pedantic(_sweep, args=(rng,), rounds=1, iterations=1)
+    table = Table(
+        ["m", "rounding blowup", "log2(8·min(n,m))", "LP-route ratio", "SUU-I-OBL ratio"],
+        title="E7  Theorem 4.5 LP route, n=24 (blowup vs O(log min(n,m)))",
+    )
+    blowup_ok = True
+    for r in rows:
+        table.add_row(
+            [r["m"], r["mean_blowup"], r["log_min_nm"], r["lp_ratio"], r["obl_ratio"]]
+        )
+        recorder.add(**r)
+        blowup_ok &= r["mean_blowup"] <= 40 * r["log_min_nm"]
+    print("\n" + table.render())
+    # shape: blowup grows sublinearly in m (log-like), checked pairwise
+    first, last = rows[0], rows[-1]
+    shape_ok = last["mean_blowup"] <= first["mean_blowup"] * (
+        4 * last["log_min_nm"] / first["log_min_nm"]
+    )
+    recorder.claim("blowup_within_log_bound", blowup_ok)
+    recorder.claim("blowup_sublinear_in_m", shape_ok)
+    assert blowup_ok
+    assert shape_ok

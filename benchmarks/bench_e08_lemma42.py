@@ -1,0 +1,76 @@
+"""E8 — Lemma 4.2: the LP1 optimum satisfies T* ≤ 16·T^OPT.
+
+Claim: on every instance small enough for the exact DP, across DAG shapes
+and probability models, ``T*/T^OPT ≤ 16``.  The bench also reports the
+observed distribution of the ratio — it is usually far below 16, which is
+why the LP lower bound ``T*/16`` is loose but safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrecedenceDAG, SUUInstance
+from repro.analysis import Table
+from repro.lp import solve_lp1
+from repro.opt import optimal_expected_makespan
+from repro.workloads import probability_matrix
+
+
+def _cases():
+    shapes = {
+        "independent": lambda n: PrecedenceDAG.independent(n),
+        "one chain": lambda n: PrecedenceDAG.from_chains([list(range(n))], n),
+        "two chains": lambda n: PrecedenceDAG.from_chains(
+            [list(range(n // 2)), list(range(n // 2, n))], n
+        ),
+        "singletons+chain": lambda n: PrecedenceDAG.from_chains(
+            [list(range(n // 2))] + [[j] for j in range(n // 2, n)], n
+        ),
+    }
+    models = ["uniform", "sparse", "power_law"]
+    return shapes, models
+
+
+def _sweep():
+    shapes, models = _cases()
+    rows = []
+    for shape_name, dag_fn in shapes.items():
+        for model in models:
+            ratios = []
+            for seed in range(4):
+                rng = np.random.default_rng(hash((shape_name, model, seed)) % 2**32)
+                n, m = 6, 3
+                p = probability_matrix(m, n, rng=rng, model=model)
+                inst = SUUInstance(p, dag_fn(n))
+                t_star = solve_lp1(inst).t
+                t_opt = optimal_expected_makespan(inst)
+                ratios.append(t_star / t_opt)
+            rows.append(
+                {
+                    "shape": shape_name,
+                    "model": model,
+                    "max_ratio": float(np.max(ratios)),
+                    "mean_ratio": float(np.mean(ratios)),
+                }
+            )
+    return rows
+
+
+def test_e08_lemma42(benchmark, recorder):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["dag shape", "prob model", "max T*/TOPT", "mean T*/TOPT"],
+        title="E8  Lemma 4.2: T* <= 16·TOPT (exact TOPT, n=6, m=3)",
+    )
+    ok = True
+    overall_max = 0.0
+    for r in rows:
+        table.add_row([r["shape"], r["model"], r["max_ratio"], r["mean_ratio"]])
+        recorder.add(**r)
+        ok &= r["max_ratio"] <= 16.0 + 1e-6
+        overall_max = max(overall_max, r["max_ratio"])
+    print("\n" + table.render())
+    print(f"\nworst observed T*/TOPT: {overall_max:.3f} (Lemma 4.2 bound: 16)")
+    recorder.claim("lemma42_holds", ok)
+    assert ok

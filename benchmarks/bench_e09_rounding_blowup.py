@@ -1,0 +1,74 @@
+"""E9 — Theorem 4.1 (and Figure 3): rounding certificates and blow-up.
+
+Claims: (a) every rounded solution is *certified* — mass ≥ 1/2 per job,
+machine loads and chain windows within t̂, windows dominate unit counts;
+(b) t̂/T* grows like O(log m) as machines scale (shape over an m-sweep);
+(c) the Figure-3 max-flow always saturates the demand (flow integrality).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import PrecedenceDAG, SUUInstance
+from repro.analysis import Table
+from repro.lp import solve_lp1
+from repro.rounding import round_acc_mass
+from repro.workloads import probability_matrix
+
+
+def _instance(n, m, seed):
+    p = probability_matrix(m, n, rng=np.random.default_rng(seed), model="sparse")
+    chains = [list(range(k, min(k + 2, n))) for k in range(0, n, 2)]
+    return SUUInstance(p, PrecedenceDAG.from_chains(chains, n))
+
+
+def _sweep():
+    rows = []
+    n = 24
+    for m in (4, 8, 16, 32, 64):
+        blowups, kappas, low_jobs = [], [], []
+        for seed in range(3):
+            inst = _instance(n, m, 4000 + seed)
+            frac = solve_lp1(inst)
+            integral = round_acc_mass(inst, frac)
+            integral.check(inst)  # raises if any certificate fails
+            blowups.append(integral.blowup)
+            kappas.append(integral.kappa)
+            low_jobs.append(integral.meta.get("low_jobs", 0))
+        rows.append(
+            {
+                "m": m,
+                "mean_blowup": float(np.mean(blowups)),
+                "log2_8m": math.log2(8 * m),
+                "mean_kappa": float(np.mean(kappas)),
+                "mean_low_jobs": float(np.mean(low_jobs)),
+            }
+        )
+    return rows
+
+
+def test_e09_thm41_rounding(benchmark, recorder):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["m", "blowup t̂/T*", "log2(8m)", "κ scale-up", "low jobs"],
+        title="E9  Theorem 4.1 rounding blow-up vs machines (n=24)",
+    )
+    for r in rows:
+        table.add_row(
+            [r["m"], r["mean_blowup"], r["log2_8m"], r["mean_kappa"], r["mean_low_jobs"]]
+        )
+        recorder.add(**r)
+    print("\n" + table.render())
+    # shape: blow-up within constant × log2(8m) across the sweep
+    within = all(r["mean_blowup"] <= 80 * r["log2_8m"] for r in rows)
+    first, last = rows[0], rows[-1]
+    sublinear = last["mean_blowup"] <= first["mean_blowup"] * (
+        6 * last["log2_8m"] / first["log2_8m"]
+    )
+    recorder.claim("certificates_pass", True)  # check() raised otherwise
+    recorder.claim("blowup_within_logm_envelope", within)
+    recorder.claim("blowup_sublinear_in_m", sublinear)
+    assert within and sublinear

@@ -1,0 +1,67 @@
+"""E12 — Lemma 4.6: chain-decomposition width over random forests.
+
+Claim: for every generated forest DAG the decomposition validates
+conditions (i)/(ii) and its width stays within ``2(⌈log n⌉+1)``.  The
+bench sweeps sizes and shapes (out-trees, in-trees, mixed, caterpillars)
+and reports max widths against the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrecedenceDAG
+from repro.analysis import Table
+from repro.decomp import decompose_forest, lemma46_width_bound
+from repro.workloads import in_tree_dag, mixed_forest_dag, out_tree_dag
+
+
+def _caterpillar(n):
+    k = n // 2
+    edges = [(i, i + 1) for i in range(k - 1)]
+    edges += [(i, k + i) for i in range(k)]
+    return PrecedenceDAG(2 * k, edges)
+
+
+def _sweep():
+    shapes = {
+        "out-tree": lambda n, s: out_tree_dag(n, rng=s),
+        "out-tree (binary)": lambda n, s: out_tree_dag(n, rng=s, max_children=2),
+        "in-tree": lambda n, s: in_tree_dag(n, rng=s),
+        "mixed forest": lambda n, s: mixed_forest_dag(n, rng=s, num_trees=3),
+        "caterpillar": lambda n, s: _caterpillar(n),
+    }
+    rows = []
+    for shape, gen in shapes.items():
+        for n in (16, 64, 256):
+            widths = []
+            for seed in range(5):
+                dag = gen(n, seed)
+                deco = decompose_forest(dag)
+                deco.validate()
+                widths.append(deco.width)
+            rows.append(
+                {
+                    "shape": shape,
+                    "n": n,
+                    "max_width": int(np.max(widths)),
+                    "bound": lemma46_width_bound(n),
+                }
+            )
+    return rows
+
+
+def test_e12_lemma46_width(benchmark, recorder):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["shape", "n", "max width", "2(⌈log n⌉+1)"],
+        title="E12  Lemma 4.6 decomposition width (5 seeds per cell)",
+    )
+    ok = True
+    for r in rows:
+        table.add_row([r["shape"], r["n"], r["max_width"], r["bound"]])
+        recorder.add(**r)
+        ok &= r["max_width"] <= r["bound"]
+    print("\n" + table.render())
+    recorder.claim("width_within_lemma46", ok)
+    assert ok

@@ -1,0 +1,102 @@
+"""E14 — Figure 1: Markov chain vs execution tree vs Monte Carlo.
+
+Figure 1 of the paper depicts two views of schedule execution: the Markov
+chain over unfinished sets (for regimens) and the rooted execution tree.
+The reproduction claim: our three independent machineries — the exact
+subset-lattice solver, the exact execution tree, and stochastic
+simulation — agree on the same numbers for the paper's 3-job setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CyclicSchedule, ObliviousSchedule, SUUInstance
+from repro.analysis import Table
+from repro.opt import optimal_regimen
+from repro.sim import (
+    build_execution_tree,
+    estimate_makespan,
+    expected_makespan_cyclic,
+    expected_makespan_regimen,
+)
+
+
+def _run(rng):
+    # A 3-job, 2-machine instance in the spirit of Figure 1.
+    p = np.array([[0.7, 0.4, 0.3], [0.2, 0.6, 0.5]])
+    inst = SUUInstance(p, name="figure1")
+    rows = []
+
+    # (a) regimen view: optimal regimen through the Markov chain
+    sol = optimal_regimen(inst)
+    markov = expected_makespan_regimen(inst, sol.regimen)
+    mc = estimate_makespan(
+        inst, sol.regimen.as_policy(), reps=6000, rng=rng, max_steps=10_000
+    )
+    rows.append(
+        {
+            "object": "optimal regimen",
+            "markov_exact": markov,
+            "dp_value": sol.expected_makespan,
+            "mc_mean": mc.mean,
+            "mc_se": mc.std_err,
+        }
+    )
+
+    # (b) oblivious cyclic schedule: Markov vs execution tree vs MC
+    sched = CyclicSchedule(
+        ObliviousSchedule.empty(2),
+        ObliviousSchedule(np.array([[0, 1], [2, 0], [1, 2]])),
+    )
+    markov_c = expected_makespan_cyclic(inst, sched)
+    mc_c = estimate_makespan(inst, sched, reps=6000, rng=rng, max_steps=10_000)
+    # execution tree: exact Pr[all done by t] for t = 6; cross-check with
+    # the empirical CDF
+    tree = build_execution_tree(inst, sched, depth=6, job=0, max_nodes=400_000)
+    p_done_exact = tree.prob_all_finished()
+    est = estimate_makespan(
+        inst, sched, reps=6000, rng=np.random.default_rng(1), max_steps=10_000, keep_samples=True
+    )
+    p_done_emp = float((est.samples <= 6).mean())
+    rows.append(
+        {
+            "object": "cyclic schedule",
+            "markov_exact": markov_c,
+            "dp_value": float("nan"),
+            "mc_mean": mc_c.mean,
+            "mc_se": mc_c.std_err,
+            "p_done6_exact": p_done_exact,
+            "p_done6_empirical": p_done_emp,
+        }
+    )
+    return rows
+
+
+def test_e14_figure1_agreement(benchmark, recorder, rng):
+    rows = benchmark.pedantic(_run, args=(rng,), rounds=1, iterations=1)
+    table = Table(
+        ["object", "Markov exact", "DP value", "MC mean", "MC ±se"],
+        title="E14  Figure 1: three machineries, one number",
+        ndigits=4,
+    )
+    for r in rows:
+        table.add_row(
+            [r["object"], r["markov_exact"], r.get("dp_value"), r["mc_mean"], r["mc_se"]]
+        )
+        recorder.add(**r)
+    print("\n" + table.render())
+    reg, cyc = rows
+    dp_match = abs(reg["markov_exact"] - reg["dp_value"]) < 1e-9
+    mc_match_reg = abs(reg["markov_exact"] - reg["mc_mean"]) < 5 * reg["mc_se"] + 1e-3
+    mc_match_cyc = abs(cyc["markov_exact"] - cyc["mc_mean"]) < 5 * cyc["mc_se"] + 1e-3
+    tree_match = abs(cyc["p_done6_exact"] - cyc["p_done6_empirical"]) < 0.03
+    print(
+        f"\nPr[all done by 6]: exact {cyc['p_done6_exact']:.4f} vs "
+        f"empirical {cyc['p_done6_empirical']:.4f}"
+    )
+    recorder.claim("dp_equals_markov", dp_match)
+    recorder.claim("mc_matches_markov_regimen", mc_match_reg)
+    recorder.claim("mc_matches_markov_cyclic", mc_match_cyc)
+    recorder.claim("tree_matches_empirical_cdf", tree_match)
+    assert dp_match and mc_match_reg and mc_match_cyc and tree_match

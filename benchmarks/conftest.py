@@ -1,0 +1,75 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_eXX_*.py`` regenerates one experiment from DESIGN.md §3: it
+prints the table of rows the paper would report, asserts the claim that
+makes the experiment a *reproduction* rather than a demo, and records the
+rows as JSON under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` — the experiments are
+sweeps, not microbenchmarks, so wall-clock is reported for one full sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class ExperimentRecorder:
+    """Collects experiment rows and writes them as JSON on context exit."""
+
+    def __init__(self, experiment_id: str):
+        self.experiment_id = experiment_id
+        self.rows: list[dict] = []
+        self.claims: dict[str, bool] = {}
+
+    def add(self, **row) -> None:
+        self.rows.append({k: _jsonable(v) for k, v in row.items()})
+
+    def claim(self, name: str, ok: bool) -> None:
+        """Record a reproduction claim; the bench also asserts it."""
+        self.claims[name] = bool(ok)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.experiment_id}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "experiment": self.experiment_id,
+                    "claims": self.claims,
+                    "rows": self.rows,
+                },
+                indent=2,
+            )
+        )
+
+
+def _jsonable(v):
+    if isinstance(v, (np.integer,)):
+        return int(v)
+    if isinstance(v, (np.floating,)):
+        return float(v)
+    if isinstance(v, np.ndarray):
+        return v.tolist()
+    return v
+
+
+@pytest.fixture
+def recorder(request):
+    """Per-test recorder named after the bench module."""
+    module = request.module.__name__
+    exp_id = module.replace("bench_", "")
+    rec = ExperimentRecorder(exp_id)
+    yield rec
+    rec.flush()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20070611)  # SPAA'07: June 9-11, 2007

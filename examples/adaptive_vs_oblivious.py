@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The price of obliviousness: SUU-I-ALG vs SUU-I-OBL vs Theorem 4.5.
+
+The paper gives three algorithms for independent jobs with successively
+stronger *scheduling models*:
+
+* SUU-I-ALG (Thm 3.3) — adaptive, O(log n): re-plans every step from the
+  set of unfinished jobs.
+* SUU-I-OBL (Thm 3.6) — oblivious, O(log² n): a fixed infinite schedule
+  computed by the doubling + MSM-E-ALG combinatorial loop.
+* LP schedule (Thm 4.5) — oblivious, O(log n · log min(n,m)): LP2 +
+  Theorem 4.1 rounding + replication.
+
+This example measures all three (plus the exact optimum where affordable)
+across failure regimes, quantifying the adaptivity gap the theory predicts.
+
+Run:  python examples/adaptive_vs_oblivious.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SUUInstance
+from repro.algorithms import PRACTICAL, suu_i_adaptive, suu_i_lp, suu_i_oblivious
+from repro.analysis import Table
+from repro.bounds import lower_bounds
+from repro.sim import estimate_makespan
+
+rng = np.random.default_rng(21)
+
+REGIMES = {
+    "reliable (p in [0.6, 0.95])": (0.60, 0.95),
+    "mixed    (p in [0.1, 0.9])": (0.10, 0.90),
+    "flaky    (p in [0.02, 0.3])": (0.02, 0.30),
+}
+
+n, m = 16, 6
+table = Table(
+    ["regime", "algorithm", "E[makespan]", "±se", "vs LB"],
+    title=f"adaptive vs oblivious, n={n}, m={m} (independent jobs)",
+)
+
+for regime, (lo, hi) in REGIMES.items():
+    p = rng.uniform(lo, hi, size=(m, n))
+    inst = SUUInstance(p, name=regime)
+    lb = lower_bounds(inst).best
+    algos = {
+        "adaptive SUU-I-ALG": suu_i_adaptive(inst),
+        "oblivious SUU-I-OBL": suu_i_oblivious(inst, PRACTICAL),
+        "oblivious LP (Thm 4.5)": suu_i_lp(inst, PRACTICAL),
+    }
+    for name, result in algos.items():
+        est = estimate_makespan(
+            inst, result.schedule, reps=150, rng=rng, max_steps=200_000
+        )
+        table.add_row([regime, name, est.mean, est.std_err, est.mean / lb])
+
+print(table.render())
+print(
+    "\nReading: the adaptivity gap (oblivious/adaptive) grows as machines\n"
+    "become flakier — adaptive policies immediately re-target failed jobs,\n"
+    "oblivious schedules must pre-pay for failures with replication.\n"
+    "That is the qualitative trade-off §3 of the paper formalizes\n"
+    "(O(log n) adaptive vs O(log² n) oblivious)."
+)

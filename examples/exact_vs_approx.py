@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Exact optimal regimens (Malewicz's DP) vs the paper's approximations.
+
+Malewicz [21] showed SUU is solvable exactly when the DAG width and the
+machine count are constants — by dynamic programming over the 2^n unfinished
+sets — and NP-hard otherwise.  On tiny instances we can therefore print the
+*whole optimality picture*:
+
+* the exact optimal regimen (per-state assignment table),
+* its expected makespan (also verified by the exact Markov-chain solver
+  and by Monte Carlo — three independent computations, one number),
+* the measured ratio of every algorithm in the package against it.
+
+Run:  python examples/exact_vs_approx.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrecedenceDAG, SUUInstance
+from repro.algorithms import (
+    PRACTICAL,
+    greedy_prob_policy,
+    msm_eligible_policy,
+    random_policy,
+    serial_baseline,
+    solve_chains,
+)
+from repro.analysis import Table
+from repro.opt import optimal_regimen
+from repro.sim import estimate_makespan, expected_makespan_regimen
+
+rng = np.random.default_rng(4)
+
+# 5 jobs: chain 0→1→2 plus independent 3, 4; 2 machines.
+p = rng.uniform(0.15, 0.9, size=(2, 5))
+dag = PrecedenceDAG.from_chains([[0, 1, 2], [3], [4]], 5)
+inst = SUUInstance(p, dag, name="exact-demo")
+print(f"instance: {inst}")
+print(f"DAG width: {inst.dag.width()}, machines: {inst.m} (both constant -> DP is exact)")
+
+# --- exact solution -------------------------------------------------------
+sol = optimal_regimen(inst)
+print(f"\nexact optimal expected makespan (DP):        {sol.expected_makespan:.4f}")
+recheck = expected_makespan_regimen(inst, sol.regimen)
+print(f"re-evaluated through the Markov chain:       {recheck:.4f}")
+mc = estimate_makespan(inst, sol.regimen.as_policy(), reps=4000, rng=rng, max_steps=50_000)
+print(f"Monte-Carlo estimate ({mc.n_reps} runs):            {mc.mean:.4f} ± {mc.std_err:.4f}")
+
+# --- a peek inside the regimen -------------------------------------------
+print("\noptimal assignment for a few unfinished-sets:")
+for state in [0b11111, 0b00111, 0b00001, 0b11000]:
+    a = sol.regimen.assignment_for_state(state)
+    unfinished = [j for j in range(5) if (state >> j) & 1]
+    print(f"  unfinished {unfinished}: machines -> jobs {a.tolist()}")
+
+# --- every algorithm against the exact number -----------------------------
+contenders = {
+    "exact regimen": sol.regimen.as_policy(),
+    "adaptive MSM on eligible": msm_eligible_policy(inst).schedule,
+    "chains pipeline (Thm 4.4)": solve_chains(inst, PRACTICAL, rng=rng).schedule,
+    "greedy": greedy_prob_policy(inst).schedule,
+    "random": random_policy(inst).schedule,
+    "serial": serial_baseline(inst).schedule,
+}
+
+table = Table(["algorithm", "E[makespan]", "ratio vs OPT"], title="who pays what")
+for name, schedule in contenders.items():
+    est = estimate_makespan(inst, schedule, reps=800, rng=rng, max_steps=100_000)
+    table.add_row([name, est.mean, est.mean / sol.expected_makespan])
+print("\n" + table.render())
+print(
+    "\nNote: running plain SUU-I-ALG on the chain-free relaxation can\n"
+    "*livelock* here — MSM may forever assign every machine to ineligible\n"
+    "jobs, which then idle (try it!).  The repaired adaptive comparator\n"
+    "restricts MSM to eligible jobs (repro.algorithms.msm_eligible_policy);\n"
+    "the paper's LP pipeline avoids the issue by construction."
+)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's grid-computing story (§1): unreliable distributed machines.
+
+A computational task is split into workflows of dependent pieces executed on
+geographically distributed machines with heterogeneous reliability.  This
+example walks the full tree pipeline (Theorem 4.8):
+
+* chain-decompose the workflow forest (Lemma 4.6) and show the blocks,
+* run the per-block LP + rounding + delay pipeline,
+* estimate completion-time distributions and compare with baselines,
+* show how the completion probability curve can drive provisioning
+  decisions ("how long until 95% confidence?").
+
+Run:  python examples/grid_computing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import solve
+from repro.algorithms import serial_baseline
+from repro.analysis import Table
+from repro.decomp import decompose_forest, lemma46_width_bound
+from repro.sim import completion_curve, estimate_makespan
+from repro.workloads import grid_computing
+
+rng = np.random.default_rng(11)
+
+instance = grid_computing(num_workflows=3, stages=3, fanout=2, machines=8, rng=rng)
+print(f"scenario: {instance}")
+print(f"DAG class: {instance.classify().value}")
+
+# --- Lemma 4.6 decomposition -------------------------------------------
+deco = decompose_forest(instance.dag)
+print(
+    f"\nchain decomposition: width {deco.width} "
+    f"(Lemma 4.6 bound: {lemma46_width_bound(instance.n)})"
+)
+for b, block in enumerate(deco.blocks):
+    chains = ", ".join("→".join(map(str, chain)) for chain in block)
+    print(f"  block {b}: {chains}")
+
+# --- schedule and measure ------------------------------------------------
+result = solve(instance, rng=rng)  # dispatches to solve_tree (Thm 4.8)
+print(f"\nalgorithm: {result.algorithm}")
+print(f"guarantee: {result.certificates['guarantee']}")
+
+est = estimate_makespan(instance, result.schedule, reps=200, rng=rng, max_steps=300_000)
+serial = serial_baseline(instance)
+est_serial = estimate_makespan(instance, serial.schedule, reps=200, rng=rng, max_steps=300_000)
+
+table = Table(["schedule", "E[steps]", "±se"], title="grid task completion")
+table.add_row(["tree pipeline (Thm 4.8)", est.mean, est.std_err])
+table.add_row(["serial gang baseline", est_serial.mean, est_serial.std_err])
+print("\n" + table.render())
+
+# --- provisioning: completion probability over time ----------------------
+horizon = int(est.mean * 2)
+curve = completion_curve(instance, result.schedule, reps=200, rng=rng, max_steps=horizon)
+targets = [0.5, 0.9, 0.95]
+print("\ncompletion-probability milestones (tree pipeline):")
+for q in targets:
+    step = int(np.searchsorted(curve, q)) + 1
+    if curve[-1] >= q:
+        print(f"  Pr[done] >= {q:.0%} by step {step}")
+    else:
+        print(f"  Pr[done] >= {q:.0%} not reached within {horizon} steps")
+print(
+    "\n(The oblivious schedule's completion curve is computable offline —\n"
+    "no execution feedback needed — which is exactly why the paper targets\n"
+    "oblivious schedules for grid settings with poor observability.)"
+)

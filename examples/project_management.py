@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's project-management story (§1), end to end.
+
+A manager has several workstreams (chains of dependent tasks) and a team of
+specialist workers; any worker may fail to finish a task in a given week.
+Several workers can gang up on a risky task to raise its completion odds.
+
+This example:
+
+* builds the scenario with skill-structured success probabilities,
+* computes the LP lower bound a manager could use to set expectations,
+* compares the paper's oblivious chain schedule (which can be printed as a
+  fixed week-by-week staffing plan!) against adaptive heuristics,
+* prints the first weeks of the oblivious staffing plan as a roster.
+
+Run:  python examples/project_management.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import solve
+from repro.algorithms import all_baselines
+from repro.analysis import Table, compare_algorithms
+from repro.bounds import lower_bounds
+from repro.workloads import project_management
+
+rng = np.random.default_rng(7)
+
+instance = project_management(workstreams=4, tasks_per_stream=3, workers=6, rng=rng)
+print(f"scenario: {instance}")
+print(f"workstreams (chains): {len(instance.dag.chains())}")
+
+# --- what the manager can promise -------------------------------------
+lbs = lower_bounds(instance)
+print("\nlower bounds on the expected completion time (weeks):")
+for key, value in lbs.as_dict().items():
+    print(f"  {key:>14s}: {value:6.2f}")
+
+# --- schedules ---------------------------------------------------------
+paper = solve(instance, rng=rng)  # Theorem 4.4 oblivious schedule
+contenders = {"paper (Thm 4.4, oblivious)": paper}
+contenders.update(all_baselines(instance))
+
+records = compare_algorithms(instance, contenders, reps=150, rng=rng, max_steps=300_000)
+table = Table(
+    ["schedule", "E[weeks]", "±se", "vs lower bound"],
+    title="project completion time",
+)
+for rec in sorted(records, key=lambda r: r.mean_makespan):
+    table.add_row([rec.algorithm, rec.mean_makespan, rec.std_err, rec.ratio])
+print("\n" + table.render())
+
+# --- the oblivious schedule is a printable staffing plan ---------------
+from repro.viz import render_gantt, render_machine_timeline
+
+print("\nthe oblivious staffing plan as a Gantt chart (rows = workers):")
+print(render_gantt(paper.finite_core, max_steps=48, instance=instance))
+print("\nworker 0's run-length plan:")
+print(" ", render_machine_timeline(paper.finite_core, 0, max_steps=60))
+print(
+    "\n(The plan is *oblivious*: it can be handed out on day one and never\n"
+    "needs mid-project replanning — the paper's selling point for this class\n"
+    "of schedules. Adaptive policies below beat it on average but require\n"
+    "weekly status meetings.)"
+)

@@ -1,0 +1,109 @@
+"""repro — Approximation algorithms for multiprocessor scheduling under uncertainty.
+
+A faithful, tested reproduction of Lin & Rajaraman (SPAA 2007): the SUU
+problem model, every algorithm in the paper (MSM-ALG, MSM-E-ALG, SUU-I-ALG,
+SUU-I-OBL, the LP-based chain/tree/forest pipelines), the substrates they
+rely on (LP relaxations, integral max-flow rounding, chain decomposition,
+random-delay scheduling, schedule replication), exact reference solvers, a
+stochastic simulator, workload generators, and an experiment harness.
+
+Quickstart::
+
+    import numpy as np
+    from repro import SUUInstance, solve, estimate_makespan
+
+    rng = np.random.default_rng(0)
+    inst = SUUInstance(rng.uniform(0.05, 0.9, size=(4, 10)))  # 4 machines, 10 jobs
+    result = solve(inst, rng=rng)
+    print(estimate_makespan(inst, result.schedule, reps=200, rng=rng))
+"""
+
+from .core import (
+    IDLE,
+    AdaptivePolicy,
+    ChainBand,
+    ChainBands,
+    CyclicSchedule,
+    DagClass,
+    JobWindow,
+    ObliviousSchedule,
+    PrecedenceDAG,
+    PseudoSchedule,
+    Regimen,
+    ScheduleResult,
+    SUUInstance,
+)
+from .errors import (
+    CycleError,
+    ExactSolverLimitError,
+    InfeasibleError,
+    LPError,
+    ReproError,
+    RoundingError,
+    ScheduleError,
+    SimulationLimitError,
+    UnsupportedDagError,
+    ValidationError,
+)
+from .sim import (
+    MakespanEstimate,
+    estimate_makespan,
+    expected_makespan_cyclic,
+    expected_makespan_regimen,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "IDLE",
+    "AdaptivePolicy",
+    "ChainBand",
+    "ChainBands",
+    "CyclicSchedule",
+    "DagClass",
+    "JobWindow",
+    "ObliviousSchedule",
+    "PrecedenceDAG",
+    "PseudoSchedule",
+    "Regimen",
+    "ScheduleResult",
+    "SUUInstance",
+    # errors
+    "CycleError",
+    "ExactSolverLimitError",
+    "InfeasibleError",
+    "LPError",
+    "ReproError",
+    "RoundingError",
+    "ScheduleError",
+    "SimulationLimitError",
+    "UnsupportedDagError",
+    "ValidationError",
+    # sim
+    "MakespanEstimate",
+    "estimate_makespan",
+    "expected_makespan_cyclic",
+    "expected_makespan_regimen",
+    "simulate",
+    # algorithms (re-exported lazily below)
+    "solve",
+    "PAPER",
+    "PRACTICAL",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` light and avoid import cycles with
+    # the algorithms package, which itself imports the core model.
+    if name == "solve":
+        from .algorithms.pipeline import solve
+
+        return solve
+    if name in ("PAPER", "PRACTICAL"):
+        from .algorithms import constants
+
+        return getattr(constants, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

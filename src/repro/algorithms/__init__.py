@@ -1,0 +1,49 @@
+"""The paper's algorithms: MSM greedy, SUU-I, chains, trees, forests."""
+
+from .baselines import (
+    all_baselines,
+    exact_baseline,
+    greedy_prob_policy,
+    msm_eligible_policy,
+    random_policy,
+    round_robin_baseline,
+    serial_baseline,
+)
+from .chains import build_chain_bands, solve_chains
+from .constants import LEAN, PAPER, PRACTICAL, SUUConstants
+from .independent import suu_i_adaptive, suu_i_lp, suu_i_oblivious
+from .layered import depth_layers, solve_layered
+from .msm import MSMExtendedResult, msm_alg, msm_e_alg, msm_mass_of_assignment
+from .pipeline import solve
+from .replication import replicate_with_tail, serial_tail
+from .trees import solve_forest, solve_tree
+
+__all__ = [
+    "LEAN",
+    "PAPER",
+    "PRACTICAL",
+    "SUUConstants",
+    "MSMExtendedResult",
+    "msm_alg",
+    "msm_e_alg",
+    "msm_mass_of_assignment",
+    "suu_i_adaptive",
+    "suu_i_lp",
+    "suu_i_oblivious",
+    "depth_layers",
+    "solve_layered",
+    "build_chain_bands",
+    "solve_chains",
+    "solve_forest",
+    "solve_tree",
+    "solve",
+    "replicate_with_tail",
+    "serial_tail",
+    "all_baselines",
+    "exact_baseline",
+    "greedy_prob_policy",
+    "random_policy",
+    "msm_eligible_policy",
+    "round_robin_baseline",
+    "serial_baseline",
+]

@@ -1,0 +1,93 @@
+"""General DAGs by antichain layering — an extension beyond the paper (§5).
+
+The paper leaves general precedence DAGs open.  A simple provable extension
+falls out of its own machinery: partition the jobs by longest-path depth
+(``layer(j) = length of the longest directed path ending at j``).  Within a
+layer there are no edges (an edge would increase depth), so each layer is
+an *independent* SUU instance, solvable by the Theorem 4.5 LP schedule;
+executing the layers in order respects every precedence constraint.
+
+Guarantee: each layer's optimal expected makespan is at most ``T^OPT`` of
+the full instance (a schedule for everything also finishes the layer), so
+the concatenation is ``O(L · log n · log min(n, m))``-approximate, where
+``L`` is the DAG depth.  For shallow-but-wide general DAGs — the common
+shape in grid workloads — this is a useful bound; for deep DAGs it degrades
+toward the trivial ``O(n)``, which is why the paper calls the general case
+open.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng
+from ..core.instance import SUUInstance
+from ..core.schedule import ObliviousSchedule, ScheduleResult
+from .constants import PRACTICAL, SUUConstants
+from .independent import suu_i_lp
+from .replication import replicate_with_tail
+
+__all__ = ["depth_layers", "solve_layered"]
+
+
+def depth_layers(instance: SUUInstance) -> list[list[int]]:
+    """Partition jobs into antichain layers by longest-path depth.
+
+    ``layers[k]`` holds the jobs whose longest incoming path has ``k``
+    edges; consecutive layers are ordered, within-layer jobs incomparable.
+    """
+    dag = instance.dag
+    depth = [0] * instance.n
+    for j in dag.topological_order():
+        for s in dag.successors(j):
+            depth[s] = max(depth[s], depth[j] + 1)
+    layers: list[list[int]] = [[] for _ in range(max(depth, default=0) + 1)]
+    for j, d in enumerate(depth):
+        layers[d].append(j)
+    return layers
+
+
+def solve_layered(
+    instance: SUUInstance,
+    constants: SUUConstants = PRACTICAL,
+    rng=None,
+) -> ScheduleResult:
+    """Layer-by-layer LP scheduling for arbitrary DAGs.
+
+    Works on *any* DAG (including the classes the paper covers, where the
+    specialized pipelines are tighter).  The finite core is the
+    concatenation of each layer's replicated Theorem 4.5 core; the serial
+    tail guarantees finite expected makespan.
+    """
+    rng = as_rng(rng)
+    layers = depth_layers(instance)
+    core = ObliviousSchedule.empty(instance.m)
+    layer_certs: list[dict] = []
+    for k, jobs in enumerate(layers):
+        sub, old_to_new = instance.induced(jobs)
+        result = suu_i_lp(sub, constants)
+        new_to_old = {v: key for key, v in old_to_new.items()}
+        layer_core = result.finite_core.relabel_jobs(new_to_old)
+        sigma = constants.replication_sigma(len(jobs))
+        core = core.concat(layer_core.replicate_steps(sigma))
+        layer_certs.append(
+            {
+                "layer": k,
+                "jobs": len(jobs),
+                "core_length": result.finite_core.length,
+                "min_mass": result.certificates["min_core_mass"],
+            }
+        )
+    schedule = replicate_with_tail(core, instance, sigma=1)
+    return ScheduleResult(
+        schedule=schedule,
+        algorithm="solve_layered",
+        finite_core=core,
+        certificates={
+            "layers": len(layers),
+            "per_layer": layer_certs,
+            "core_length": core.length,
+            "guarantee": "O(depth · log n · log min(n,m)) x TOPT (extension of Thm 4.5)",
+        },
+        meta={"constants": constants},
+    )

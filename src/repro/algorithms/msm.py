@@ -1,0 +1,150 @@
+"""MSM-ALG and MSM-E-ALG: greedy 1/3-approximations for MaxSumMass.
+
+Problem **MaxSumMass** (§3.1): choose a one-step assignment
+``f: M → J ∪ {⊥}`` maximizing ``Σ_j min(1, Σ_{i: f(i)=j} p_ij)``.  The
+greedy MSM-ALG of Figure 2 processes the ``p_ij`` in non-increasing order
+and assigns machine ``i`` to job ``j`` whenever ``i`` is still free and
+job ``j``'s mass would stay at most 1 — a 1/3-approximation (Theorem 3.2;
+the problem itself is NP-hard).
+
+**MSM-E-ALG** (Algorithm 1) generalizes to oblivious schedules of length
+``t``: each machine has capacity ``t``; the same greedy order fills
+``x_ij = min(t_i, ⌊(1 − mass_j)/p_ij⌋)`` units at a time.  Its running time
+is independent of ``t`` (each pair is processed once) and it keeps the 1/3
+factor (Lemma 3.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import SUUInstance
+from ..core.schedule import IDLE, ObliviousSchedule
+
+__all__ = ["msm_alg", "MSMExtendedResult", "msm_e_alg"]
+
+
+def _sorted_pairs(p: np.ndarray, jobs: np.ndarray) -> list[tuple[float, int, int]]:
+    """Positive (p, i, j) triples over the given job subset, sorted.
+
+    Non-increasing in probability; ties broken by (machine, job) index so
+    the greedy is fully deterministic.
+    """
+    out: list[tuple[float, int, int]] = []
+    for j in jobs:
+        col = p[:, j]
+        for i in np.flatnonzero(col > 0.0):
+            out.append((float(col[i]), int(i), int(j)))
+    out.sort(key=lambda rec: (-rec[0], rec[1], rec[2]))
+    return out
+
+
+def msm_alg(p: np.ndarray, jobs: np.ndarray | list[int] | None = None) -> np.ndarray:
+    """MSM-ALG (Figure 2): a greedy 1/3-approximate MaxSumMass assignment.
+
+    Parameters
+    ----------
+    p:
+        The full ``(m, n)`` probability matrix.
+    jobs:
+        Subset of jobs to consider (default: all).  Machines are assigned
+        only to jobs in this subset — this is how SUU-I-ALG restricts to
+        the unfinished set each step.
+
+    Returns the ``(m,)`` assignment array (entries: job id or ``IDLE``).
+    """
+    m, n = p.shape
+    job_arr = np.arange(n) if jobs is None else np.asarray(sorted(jobs), dtype=np.int64)
+    f = np.full(m, IDLE, dtype=np.int32)
+    load = np.zeros(n, dtype=np.float64)
+    for pij, i, j in _sorted_pairs(p, job_arr):
+        if f[i] == IDLE and load[j] + pij <= 1.0 + 1e-12:
+            f[i] = j
+            load[j] += pij
+    return f
+
+
+@dataclass
+class MSMExtendedResult:
+    """Output of MSM-E-ALG: the unit matrix and the derived schedule.
+
+    ``x[i, j]`` is the number of steps machine ``i`` spends on job ``j``;
+    ``schedule`` lays the units out as an oblivious schedule of length
+    ``t`` (machine columns filled job-by-job in job order, padded idle).
+    ``mass`` is the per-job mass ``Σ_i p_ij x_ij`` (the objective counts it
+    capped at 1).
+    """
+
+    x: np.ndarray
+    t: int
+    schedule: ObliviousSchedule | None
+    mass: np.ndarray
+
+    @property
+    def total_capped_mass(self) -> float:
+        return float(np.minimum(self.mass, 1.0).sum())
+
+
+def msm_e_alg(
+    p: np.ndarray,
+    t: int,
+    jobs: np.ndarray | list[int] | None = None,
+    build_schedule: bool = True,
+) -> MSMExtendedResult:
+    """MSM-E-ALG (Algorithm 1): greedy MaxSumMass-Ext for length ``t``.
+
+    Machine capacities start at ``t``; pairs are processed in the same
+    greedy order as MSM-ALG, each taking as many units as the remaining
+    capacity and the job's remaining mass budget allow:
+    ``x_ij ← min(t_i, ⌊(1 − Σ_k x_kj p_kj)/p_ij⌋)``.
+
+    The greedy itself runs in time independent of ``t`` (each pair is
+    processed once — the paper's observation after Algorithm 1); only the
+    *layout* of the resulting oblivious schedule is Θ(t·m).  Pass
+    ``build_schedule=False`` to skip the layout and get ``schedule=None``
+    (the unit matrix ``x`` fully determines it).
+    """
+    if t < 1:
+        raise ValueError("schedule length t must be >= 1")
+    m, n = p.shape
+    job_arr = np.arange(n) if jobs is None else np.asarray(sorted(jobs), dtype=np.int64)
+    x = np.zeros((m, n), dtype=np.int64)
+    capacity = np.full(m, int(t), dtype=np.int64)
+    mass = np.zeros(n, dtype=np.float64)
+    for pij, i, j in _sorted_pairs(p, job_arr):
+        if capacity[i] <= 0:
+            continue
+        budget = int(math.floor((1.0 - mass[j]) / pij + 1e-12))
+        units = min(int(capacity[i]), budget)
+        if units <= 0:
+            continue
+        x[i, j] = units
+        capacity[i] -= units
+        mass[j] += units * pij
+
+    if not build_schedule:
+        return MSMExtendedResult(x=x, t=int(t), schedule=None, mass=mass)
+    # Lay out the units: machine i works through its assigned jobs in job
+    # order, one unit per step (Algorithm 1's output spec).
+    sequences: list[list[int]] = []
+    for i in range(m):
+        seq: list[int] = []
+        for j in job_arr:
+            seq.extend([int(j)] * int(x[i, j]))
+        sequences.append(seq)
+    schedule = ObliviousSchedule.from_machine_sequences(sequences, length=t)
+    return MSMExtendedResult(x=x, t=int(t), schedule=schedule, mass=mass)
+
+
+def msm_mass_of_assignment(p: np.ndarray, assignment: np.ndarray) -> float:
+    """The MaxSumMass objective ``Σ_j min(1, Σ_{i→j} p_ij)`` of an assignment."""
+    m, n = p.shape
+    load = np.zeros(n, dtype=np.float64)
+    for i in range(m):
+        j = int(assignment[i])
+        if j != IDLE:
+            load[j] += p[i, j]
+    return float(np.minimum(load, 1.0).sum())

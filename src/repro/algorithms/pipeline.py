@@ -1,0 +1,104 @@
+"""The front-door ``solve()``: dispatch on the precedence class.
+
+Picks the strongest applicable algorithm from the paper:
+
+========================  =====================================  =========
+DAG class                 algorithm                              guarantee
+========================  =====================================  =========
+independent               :func:`~.independent.suu_i_lp`         O(log n log min(n,m))
+disjoint chains           :func:`~.chains.solve_chains`          O(log m log n log(n+m)/loglog)
+in-/out-forest            :func:`~.trees.solve_tree`             O(log m log² n)
+mixed forest              :func:`~.trees.solve_forest`           O(log m log² n log(n+m)/loglog)
+general                   :func:`~.layered.solve_layered`        O(depth · log n · log min(n,m))
+========================  =====================================  =========
+
+General DAGs are outside the paper's classes (§5 open problem); the
+layered extension handles them with a depth-dependent guarantee when
+``allow_fallback=True`` (or ``method="layered"``), otherwise
+:class:`UnsupportedDagError` is raised so callers notice they left the
+paper's territory.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import DagClass
+from ..core.instance import SUUInstance
+from ..core.schedule import ScheduleResult
+from ..errors import UnsupportedDagError
+from .baselines import serial_baseline
+from .chains import solve_chains
+from .constants import PRACTICAL, SUUConstants
+from .independent import suu_i_adaptive, suu_i_lp, suu_i_oblivious
+from .layered import solve_layered
+from .trees import solve_forest, solve_tree
+
+__all__ = ["solve"]
+
+_METHODS = {
+    "auto",
+    "adaptive",
+    "oblivious",
+    "lp",
+    "chains",
+    "tree",
+    "forest",
+    "layered",
+    "serial",
+}
+
+
+def solve(
+    instance: SUUInstance,
+    constants: SUUConstants = PRACTICAL,
+    rng=None,
+    method: str = "auto",
+    allow_fallback: bool = False,
+) -> ScheduleResult:
+    """Schedule ``instance`` with the strongest applicable paper algorithm.
+
+    ``method`` forces a specific algorithm:
+
+    * ``"adaptive"`` — SUU-I-ALG (independent jobs only);
+    * ``"oblivious"`` — SUU-I-OBL (independent jobs only);
+    * ``"lp"`` — Theorem 4.5 LP schedule (independent jobs only);
+    * ``"chains"`` / ``"tree"`` / ``"forest"`` — the §4 pipelines;
+    * ``"layered"`` — the general-DAG depth-layer extension;
+    * ``"serial"`` — the always-correct serial baseline;
+    * ``"auto"`` — dispatch on the DAG class (default).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {sorted(_METHODS)}")
+    if method == "adaptive":
+        return suu_i_adaptive(instance)
+    if method == "oblivious":
+        return suu_i_oblivious(instance, constants)
+    if method == "lp":
+        return suu_i_lp(instance, constants)
+    if method == "chains":
+        return solve_chains(instance, constants, rng)
+    if method == "tree":
+        return solve_tree(instance, constants, rng)
+    if method == "forest":
+        return solve_forest(instance, constants, rng)
+    if method == "layered":
+        return solve_layered(instance, constants, rng)
+    if method == "serial":
+        return serial_baseline(instance)
+
+    cls = instance.classify()
+    if cls == DagClass.INDEPENDENT:
+        return suu_i_lp(instance, constants)
+    if cls == DagClass.CHAINS:
+        return solve_chains(instance, constants, rng)
+    if cls in (DagClass.OUT_FOREST, DagClass.IN_FOREST):
+        return solve_tree(instance, constants, rng)
+    if cls == DagClass.MIXED_FOREST:
+        return solve_forest(instance, constants, rng)
+    if allow_fallback:
+        return solve_layered(instance, constants, rng)
+    raise UnsupportedDagError(
+        "general precedence DAGs are outside the paper's algorithm classes "
+        "(§5 lists them as an open problem); pass allow_fallback=True for "
+        "the depth-layered extension (guarantee scales with DAG depth), use "
+        "method='layered'/'serial' explicitly, or transitively reduce the DAG"
+    )

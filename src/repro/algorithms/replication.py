@@ -1,0 +1,48 @@
+"""Schedule replication and the serial safety tail (§4.1).
+
+Every oblivious construction in the paper ends the same way: replicate the
+core schedule's steps ``σ = O(log n)`` times so all jobs finish with high
+probability, then append the infinite schedule ``Σ_{o,3}`` that cycles
+through the jobs in topological order with *all* machines on one job per
+step.  The tail contributes ``O(1/n²) · n² T^OPT = O(T^OPT)`` to the
+expectation while guaranteeing the makespan is finite on every sample path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import SUUInstance
+from ..core.schedule import CyclicSchedule, ObliviousSchedule
+
+__all__ = ["serial_tail", "replicate_with_tail"]
+
+
+def serial_tail(instance: SUUInstance) -> ObliviousSchedule:
+    """The paper's ``Σ_{o,3}``: step ``k`` assigns all machines to job ``τ(k)``.
+
+    Jobs appear in topological order, so cycling the tail respects every
+    precedence constraint and completes any single remaining job in
+    expected ``≤ n / q_j`` steps.
+    """
+    order = instance.dag.topological_order()
+    table = np.empty((max(1, instance.n), instance.m), dtype=np.int32)
+    if instance.n == 0:
+        table[:] = -1
+        return ObliviousSchedule(table)
+    for k, j in enumerate(order):
+        table[k, :] = j
+    return ObliviousSchedule(table)
+
+
+def replicate_with_tail(
+    core: ObliviousSchedule, instance: SUUInstance, sigma: int
+) -> CyclicSchedule:
+    """``Σ_o = core^{×σ} ∘ Σ_{o,3}^∞`` — the final §4.1 assembly.
+
+    Each *step* of ``core`` is replicated ``σ`` times in place (preserving
+    window order, hence precedence validity), and the serial tail is
+    appended as the infinite cycle.
+    """
+    prefix = core.replicate_steps(sigma) if core.length else core
+    return CyclicSchedule(prefix, serial_tail(instance))

@@ -1,0 +1,150 @@
+"""Trees and directed forests (§4.2, Theorems 4.7 and 4.8).
+
+Both algorithms follow [17]: chain-decompose the forest into ordered blocks
+``B_1, ..., B_γ`` (γ = O(log n), Lemma 4.6), run the disjoint-chains
+pipeline *inside* each block, and concatenate the per-block schedules in
+block order.  Condition (ii) of the decomposition guarantees every
+precedence edge either stays inside a block (where it lies along a chain,
+handled by the chain pipeline) or crosses from an earlier block to a later
+one (handled by concatenation).  The extra factor γ = O(log n) is the gap
+between Theorem 4.4 and Theorems 4.7/4.8.
+
+For in-/out-trees (Theorem 4.8) the delay window inside each block is
+narrowed to ``Π_max / log n`` and the congestion target to ``O(log n)``,
+which is how the paper sharpens ``log(n+m)/log log(n+m)`` to ``log n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._util import as_rng, log2p
+from ..core.dag import DagClass
+from ..core.instance import SUUInstance
+from ..core.schedule import ObliviousSchedule, ScheduleResult
+from ..decomp.chain_decomposition import ChainDecomposition, decompose_forest
+from ..errors import UnsupportedDagError
+from .chains import solve_chains
+from .constants import PRACTICAL, SUUConstants
+from .replication import replicate_with_tail
+
+__all__ = ["solve_forest", "solve_tree"]
+
+_TREE_CLASSES = (DagClass.OUT_FOREST, DagClass.IN_FOREST)
+
+
+def _solve_blocks(
+    instance: SUUInstance,
+    decomposition: ChainDecomposition,
+    constants: SUUConstants,
+    rng,
+    tree_mode: bool,
+) -> tuple[ObliviousSchedule, list[dict]]:
+    """Run the chain pipeline per block; concatenate the finite cores."""
+    core = ObliviousSchedule.empty(instance.m)
+    block_certs: list[dict] = []
+    for b, block in enumerate(decomposition.blocks):
+        jobs = [j for chain in block for j in chain]
+        sub, old_to_new = instance.induced(jobs)
+        sub_chains = [[old_to_new[j] for j in chain] for chain in block]
+        if tree_mode:
+            # Theorem 4.8 parameters: delay window Π_max / log n and an
+            # O(log n) congestion target, both relative to the full
+            # instance size as in the paper's analysis.
+            log_n = log2p(instance.n)
+            target = max(2, int(math.ceil(constants.delay_alpha * log_n)))
+            divisor = log_n
+        else:
+            target = None
+            divisor = None
+        result = solve_chains(
+            sub,
+            constants=constants,
+            rng=rng,
+            chains=sub_chains,
+            collision_target=target,
+            window_divisor=divisor,
+        )
+        new_to_old = {v: k for k, v in old_to_new.items()}
+        block_core = result.finite_core.relabel_jobs(new_to_old)
+        # Replicate each block's core so the block completes whp before the
+        # next block starts (the per-block analogue of §4.1 replication).
+        sigma = constants.replication_sigma(len(jobs))
+        core = core.concat(block_core.replicate_steps(sigma))
+        cert = dict(result.certificates)
+        cert["block"] = b
+        cert["block_jobs"] = len(jobs)
+        block_certs.append(cert)
+    return core, block_certs
+
+
+def _solve_decomposed(
+    instance: SUUInstance,
+    constants: SUUConstants,
+    rng,
+    tree_mode: bool,
+    algorithm: str,
+    guarantee: str,
+) -> ScheduleResult:
+    rng = as_rng(rng)
+    decomposition = decompose_forest(instance.dag)
+    core, block_certs = _solve_blocks(
+        instance, decomposition, constants, rng, tree_mode
+    )
+    schedule = replicate_with_tail(core, instance, sigma=1)
+    return ScheduleResult(
+        schedule=schedule,
+        algorithm=algorithm,
+        finite_core=core,
+        certificates={
+            "decomposition_width": decomposition.width,
+            "blocks": block_certs,
+            "core_length": core.length,
+            "guarantee": guarantee,
+        },
+        meta={"constants": constants},
+    )
+
+
+def solve_tree(
+    instance: SUUInstance,
+    constants: SUUConstants = PRACTICAL,
+    rng=None,
+) -> ScheduleResult:
+    """Theorem 4.8: in-/out-forests, ``O(log m log² n)``-approximate."""
+    cls = instance.classify()
+    if cls not in _TREE_CLASSES and cls not in (DagClass.CHAINS, DagClass.INDEPENDENT):
+        raise UnsupportedDagError(
+            f"solve_tree needs an in-/out-forest, got {cls.value}"
+        )
+    return _solve_decomposed(
+        instance,
+        constants,
+        rng,
+        tree_mode=True,
+        algorithm="solve_tree",
+        guarantee="O(log m log^2 n) x TOPT (Thm 4.8)",
+    )
+
+
+def solve_forest(
+    instance: SUUInstance,
+    constants: SUUConstants = PRACTICAL,
+    rng=None,
+) -> ScheduleResult:
+    """Theorem 4.7: directed forests,
+    ``O(log m log² n log(n+m)/log log(n+m))``-approximate."""
+    if not instance.dag.is_forest():
+        raise UnsupportedDagError(
+            "solve_forest requires the underlying undirected graph to be a forest"
+        )
+    return _solve_decomposed(
+        instance,
+        constants,
+        rng,
+        tree_mode=False,
+        algorithm="solve_forest",
+        guarantee="O(log m log^2 n log(n+m)/loglog(n+m)) x TOPT (Thm 4.7)",
+    )

@@ -1,0 +1,22 @@
+"""Experiment harness helpers: tables, statistics, ratio measurement."""
+
+from .ratios import RatioRecord, compare_algorithms, measure_ratio, reference_makespan
+from .robustness import PerturbationResult, perturb_instance, robustness_curve
+from .stats import bootstrap_ci, fit_log_growth, geometric_mean, loglog_slope, mean_ci
+from .tables import Table
+
+__all__ = [
+    "RatioRecord",
+    "compare_algorithms",
+    "measure_ratio",
+    "reference_makespan",
+    "PerturbationResult",
+    "perturb_instance",
+    "robustness_curve",
+    "bootstrap_ci",
+    "fit_log_growth",
+    "geometric_mean",
+    "loglog_slope",
+    "mean_ci",
+    "Table",
+]

@@ -1,0 +1,79 @@
+"""Small statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .._util import as_rng
+
+__all__ = ["mean_ci", "bootstrap_ci", "geometric_mean", "loglog_slope", "fit_log_growth"]
+
+
+def mean_ci(samples: Sequence[float], z: float = 1.96) -> tuple[float, float, float]:
+    """``(mean, lo, hi)`` under the normal approximation."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, mean, mean
+    half = z * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return mean, mean - half, mean + half
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    stat=np.mean,
+    n_boot: int = 1000,
+    alpha: float = 0.05,
+    rng=None,
+) -> tuple[float, float, float]:
+    """``(stat, lo, hi)`` percentile-bootstrap interval."""
+    rng = as_rng(rng)
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    point = float(stat(arr))
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    boots = np.asarray([stat(arr[row]) for row in idx])
+    lo, hi = np.quantile(boots, [alpha / 2, 1 - alpha / 2])
+    return point, float(lo), float(hi)
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    arr = np.asarray(samples, dtype=np.float64)
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean needs positive samples")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    Slope ≈ k suggests ``y = Θ(x^k)``; the polylog experiments check the
+    slope of ratio-vs-n stays well below 1 (sub-polynomial growth).
+    """
+    lx = np.log(np.asarray(xs, dtype=np.float64))
+    ly = np.log(np.asarray(ys, dtype=np.float64))
+    if lx.size < 2:
+        raise ValueError("need at least two points")
+    A = np.vstack([lx, np.ones_like(lx)]).T
+    slope, _ = np.linalg.lstsq(A, ly, rcond=None)[0]
+    return float(slope)
+
+
+def fit_log_growth(ns: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Fit ``y ≈ a·log2(n) + b``; returns ``(a, b)``.
+
+    Used to check O(log n)-shaped ratio growth (experiments E5/E6).
+    """
+    ln = np.log2(np.asarray(ns, dtype=np.float64))
+    y = np.asarray(ys, dtype=np.float64)
+    if ln.size < 2:
+        raise ValueError("need at least two points")
+    A = np.vstack([ln, np.ones_like(ln)]).T
+    a, b = np.linalg.lstsq(A, y, rcond=None)[0]
+    return float(a), float(b)

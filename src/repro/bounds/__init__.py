@@ -1,0 +1,5 @@
+"""Certified lower bounds on the optimal expected makespan."""
+
+from .lower import LEMMA42_FACTOR, LowerBounds, lower_bounds, lp_lower_bound
+
+__all__ = ["LEMMA42_FACTOR", "LowerBounds", "lower_bounds", "lp_lower_bound"]

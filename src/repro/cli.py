@@ -1,0 +1,230 @@
+"""Command-line interface: ``suu`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``  write a random instance to JSON
+``info``      structural summary of an instance file
+``solve``     schedule an instance, print certificates, optionally save
+``simulate``  Monte-Carlo makespan estimate for an instance (+ baselines)
+``gantt``     render a schedule (or a fresh solve) as an ASCII Gantt chart
+``demo``      end-to-end demonstration on a built-in scenario
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .algorithms import LEAN, PAPER, PRACTICAL, all_baselines, solve
+from .analysis import Table, compare_algorithms
+from .bounds import lower_bounds
+from .core import SUUInstance
+from .sim import estimate_makespan
+from .workloads import grid_computing, project_management, random_instance
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {"paper": PAPER, "practical": PRACTICAL, "lean": LEAN}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="suu",
+        description="Multiprocessor scheduling under uncertainty (Lin & Rajaraman, SPAA 2007)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a random instance as JSON")
+    g.add_argument("output", type=Path, help="output .json path ('-' for stdout)")
+    g.add_argument("-n", "--jobs", type=int, default=20)
+    g.add_argument("-m", "--machines", type=int, default=6)
+    g.add_argument(
+        "--dag",
+        default="independent",
+        choices=["independent", "chains", "out_tree", "in_tree", "mixed_forest", "layered"],
+    )
+    g.add_argument(
+        "--prob",
+        default="uniform",
+        choices=["uniform", "machine_speed", "specialist", "power_law", "sparse"],
+    )
+    g.add_argument("--seed", type=int, default=0)
+
+    i = sub.add_parser("info", help="summarize an instance file")
+    i.add_argument("input", type=Path)
+    i.add_argument("--bounds", action="store_true", help="also compute lower bounds")
+
+    s = sub.add_parser("solve", help="schedule an instance")
+    s.add_argument("input", type=Path)
+    s.add_argument("--method", default="auto")
+    s.add_argument("--constants", default="practical", choices=sorted(_PRESETS))
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--save", type=Path, help="write the schedule JSON here")
+
+    r = sub.add_parser("simulate", help="estimate expected makespan")
+    r.add_argument("input", type=Path)
+    r.add_argument("--method", default="auto")
+    r.add_argument("--constants", default="practical", choices=sorted(_PRESETS))
+    r.add_argument("--reps", type=int, default=200)
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--max-steps", type=int, default=200_000)
+    r.add_argument("--baselines", action="store_true", help="also run baselines")
+
+    ga = sub.add_parser("gantt", help="render a schedule as an ASCII Gantt chart")
+    ga.add_argument("input", type=Path, help="instance .json")
+    ga.add_argument("--schedule", type=Path, help="schedule .json (default: solve now)")
+    ga.add_argument("--method", default="auto")
+    ga.add_argument("--constants", default="practical", choices=sorted(_PRESETS))
+    ga.add_argument("--steps", type=int, default=60)
+    ga.add_argument("--seed", type=int, default=0)
+
+    d = sub.add_parser("demo", help="run a built-in scenario end to end")
+    d.add_argument(
+        "--scenario", default="project", choices=["project", "grid", "independent"]
+    )
+    d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--reps", type=int, default=100)
+    return parser
+
+
+def _load_instance(path: Path) -> SUUInstance:
+    return SUUInstance.from_json(path.read_text())
+
+
+def _cmd_generate(args) -> int:
+    inst = random_instance(
+        args.jobs, args.machines, dag_kind=args.dag, prob_model=args.prob, rng=args.seed
+    )
+    text = inst.to_json()
+    if str(args.output) == "-":
+        print(text)
+    else:
+        args.output.write_text(text)
+        print(f"wrote {inst!r} to {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    inst = _load_instance(args.input)
+    print(f"instance : {inst!r}")
+    print(f"jobs     : {inst.n}")
+    print(f"machines : {inst.m}")
+    print(f"dag class: {inst.classify().value}")
+    print(f"edges    : {inst.dag.num_edges}")
+    print(f"width    : {inst.dag.width()}")
+    print(f"p_min>0  : {inst.p_min_positive:.4f}")
+    if args.bounds:
+        lbs = lower_bounds(inst)
+        for k, v in lbs.as_dict().items():
+            print(f"LB[{k}]: {v:.4f}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    inst = _load_instance(args.input)
+    result = solve(
+        inst, constants=_PRESETS[args.constants], rng=args.seed, method=args.method
+    )
+    print(f"algorithm: {result.algorithm}")
+    for key, value in sorted(result.certificates.items(), key=lambda kv: kv[0]):
+        if key != "blocks":
+            print(f"  {key}: {value}")
+    if args.save:
+        if not result.is_oblivious:
+            print("cannot save adaptive policies as JSON", file=sys.stderr)
+            return 2
+        args.save.write_text(json.dumps(result.schedule.to_dict()))
+        print(f"schedule written to {args.save}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    inst = _load_instance(args.input)
+    rng = np.random.default_rng(args.seed)
+    results = {args.method: solve(inst, constants=_PRESETS[args.constants], rng=rng, method=args.method)}
+    if args.baselines:
+        results.update(all_baselines(inst))
+    records = compare_algorithms(
+        inst, results, reps=args.reps, rng=rng, max_steps=args.max_steps
+    )
+    table = Table(
+        ["algorithm", "E[makespan]", "±se", "reference", "kind", "ratio"],
+        title=inst.name or "instance",
+    )
+    for rec in records:
+        table.add_row(
+            [rec.algorithm, rec.mean_makespan, rec.std_err, rec.reference, rec.reference_kind, rec.ratio]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from .core import CyclicSchedule, ObliviousSchedule
+    from .viz import render_gantt
+
+    inst = _load_instance(args.input)
+    if args.schedule:
+        data = json.loads(args.schedule.read_text())
+        if data.get("kind") == "cyclic":
+            schedule = CyclicSchedule.from_dict(data)
+        else:
+            schedule = ObliviousSchedule.from_dict(data)
+    else:
+        result = solve(
+            inst, constants=_PRESETS[args.constants], rng=args.seed, method=args.method
+        )
+        if not result.is_oblivious:
+            print("adaptive policies have no fixed table to draw", file=sys.stderr)
+            return 2
+        schedule = result.schedule
+        print(f"algorithm: {result.algorithm}")
+    print(render_gantt(schedule, max_steps=args.steps, instance=inst))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.scenario == "project":
+        inst = project_management(rng=rng)
+    elif args.scenario == "grid":
+        inst = grid_computing(rng=rng)
+    else:
+        inst = random_instance(16, 6, rng=rng)
+    print(f"scenario: {inst!r}")
+    results = {"paper_algorithm": solve(inst, rng=rng)}
+    results.update(all_baselines(inst))
+    records = compare_algorithms(inst, results, reps=args.reps, rng=rng)
+    table = Table(
+        ["algorithm", "E[makespan]", "±se", "reference", "kind", "ratio"],
+        title=inst.name,
+    )
+    for rec in records:
+        table.add_row(
+            [rec.algorithm, rec.mean_makespan, rec.std_err, rec.reference, rec.reference_kind, rec.ratio]
+        )
+    print(table.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "solve": _cmd_solve,
+        "simulate": _cmd_simulate,
+        "gantt": _cmd_gantt,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

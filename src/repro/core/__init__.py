@@ -1,0 +1,52 @@
+"""Core data model: precedence DAGs, instances, schedules, and mass."""
+
+from .dag import DagClass, PrecedenceDAG
+from .instance import SUUInstance
+from .mass import (
+    assignment_mass,
+    assignment_success_prob,
+    cumulative_mass,
+    mass_lower_bound,
+    mass_profile,
+    mass_upper_bound,
+    prop21_holds,
+    success_prob_product,
+)
+from .schedule import (
+    IDLE,
+    AdaptivePolicy,
+    ChainBand,
+    ChainBands,
+    CyclicSchedule,
+    JobWindow,
+    ObliviousSchedule,
+    PseudoSchedule,
+    Regimen,
+    ScheduleResult,
+    validate_assignment,
+)
+
+__all__ = [
+    "DagClass",
+    "PrecedenceDAG",
+    "SUUInstance",
+    "IDLE",
+    "AdaptivePolicy",
+    "ChainBand",
+    "ChainBands",
+    "CyclicSchedule",
+    "JobWindow",
+    "ObliviousSchedule",
+    "PseudoSchedule",
+    "Regimen",
+    "ScheduleResult",
+    "validate_assignment",
+    "assignment_mass",
+    "assignment_success_prob",
+    "cumulative_mass",
+    "mass_lower_bound",
+    "mass_profile",
+    "mass_upper_bound",
+    "prop21_holds",
+    "success_prob_product",
+]

@@ -1,0 +1,167 @@
+"""Mass accounting (Definition 2.4) and the Proposition 2.1 bounds.
+
+The paper's central analytical device is the *mass* of a job: the sum of
+``p_ij`` over every (machine, step) pair in which machine ``i`` is assigned
+to job ``j``.  Proposition 2.1 sandwiches the true success probability
+``1 - prod(1 - p)`` between ``mass/e`` and ``mass`` (for mass at most 1),
+which lets the algorithms optimize the *linear* mass instead of the product
+form.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "success_prob_product",
+    "mass_upper_bound",
+    "mass_lower_bound",
+    "prop21_holds",
+    "assignment_mass",
+    "assignment_success_prob",
+    "cumulative_mass",
+    "mass_profile",
+]
+
+
+def success_prob_product(probs: np.ndarray) -> float:
+    """Exact success probability ``1 - prod(1 - x_i)`` of one step.
+
+    ``probs`` holds the per-machine success probabilities of the machines
+    assigned to a single job.
+    """
+    arr = np.asarray(probs, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr < 0) or np.any(arr > 1):
+        raise ValidationError("probabilities must lie in [0, 1]")
+    return float(1.0 - np.prod(1.0 - arr))
+
+
+def mass_upper_bound(probs: np.ndarray) -> float:
+    """Proposition 2.1 upper bound: ``1 - prod(1-x_i) <= sum(x_i)``."""
+    return float(np.sum(np.asarray(probs, dtype=np.float64)))
+
+
+def mass_lower_bound(probs: np.ndarray) -> float:
+    """Proposition 2.1 lower bound: ``sum(x_i)/e`` when ``sum(x_i) <= 1``.
+
+    The bound only applies when the total mass is at most 1; for larger
+    masses the useful statement is obtained by capping at 1 first (a subset
+    of machines with mass in [1/2, 1] already yields a constant success
+    probability), so this helper caps the sum at 1 before dividing by e.
+    """
+    s = min(1.0, float(np.sum(np.asarray(probs, dtype=np.float64))))
+    return s / math.e
+
+
+def prop21_holds(probs: np.ndarray) -> bool:
+    """Check both Proposition 2.1 inequalities on one probability vector."""
+    arr = np.asarray(probs, dtype=np.float64)
+    q = success_prob_product(arr)
+    s = float(arr.sum())
+    upper_ok = q <= s + 1e-12
+    if s <= 1.0:
+        lower_ok = q >= s / math.e - 1e-12
+    else:
+        lower_ok = True  # the lower bound's precondition fails; vacuous
+    return bool(upper_ok and lower_ok)
+
+
+def assignment_mass(p: np.ndarray, assignment: np.ndarray) -> np.ndarray:
+    """Per-job mass added by a single one-step assignment (uncapped).
+
+    ``assignment`` is an ``(m,)`` integer array mapping machines to job ids,
+    ``-1`` meaning idle.  Entry ``j`` of the result is
+    ``sum_{i: assignment[i] == j} p[i, j]``.
+    """
+    m, n = p.shape
+    a = np.asarray(assignment)
+    if a.shape != (m,):
+        raise ValidationError(f"assignment must have shape ({m},), got {a.shape}")
+    mass = np.zeros(n, dtype=np.float64)
+    active = a >= 0
+    if np.any(a[active] >= n):
+        raise ValidationError("assignment contains an out-of-range job id")
+    np.add.at(mass, a[active], p[np.flatnonzero(active), a[active]])
+    return mass
+
+
+def assignment_success_prob(p: np.ndarray, assignment: np.ndarray) -> np.ndarray:
+    """Exact per-job one-step success probability of an assignment.
+
+    ``q_j = 1 - prod_{i: assignment[i]==j} (1 - p_ij)``; jobs with no
+    machine get 0.
+    """
+    m, n = p.shape
+    a = np.asarray(assignment)
+    if a.shape != (m,):
+        raise ValidationError(f"assignment must have shape ({m},), got {a.shape}")
+    log_fail = np.zeros(n, dtype=np.float64)
+    active = a >= 0
+    if np.any(a[active] >= n):
+        raise ValidationError("assignment contains an out-of-range job id")
+    rows = np.flatnonzero(active)
+    jobs = a[active]
+    with np.errstate(divide="ignore"):
+        contrib = np.log1p(-np.minimum(p[rows, jobs], 1.0 - 1e-300))
+    # Jobs assigned a machine with p == 1 succeed with certainty; the log
+    # trick would produce -inf which exp() maps back to q = 1 exactly below.
+    certain = np.zeros(n, dtype=bool)
+    certain_jobs = jobs[p[rows, jobs] >= 1.0]
+    certain[certain_jobs] = True
+    np.add.at(log_fail, jobs, contrib)
+    q = 1.0 - np.exp(log_fail)
+    q[certain] = 1.0
+    return q
+
+
+def cumulative_mass(p: np.ndarray, table: np.ndarray, cap: bool = True) -> np.ndarray:
+    """Total per-job mass accumulated by an oblivious schedule table.
+
+    ``table`` has shape ``(T, m)``; entry ``(t, i)`` is the job machine ``i``
+    is assigned at step ``t`` (or ``-1``).  With ``cap=True`` the result is
+    ``min(mass, 1)`` as in Definition 2.4.
+    """
+    m, n = p.shape
+    tab = np.asarray(table)
+    if tab.ndim != 2 or tab.shape[1] != m:
+        raise ValidationError(f"table must have shape (T, {m}), got {tab.shape}")
+    mass = np.zeros(n, dtype=np.float64)
+    flat = tab.reshape(-1)
+    rows = np.tile(np.arange(m), tab.shape[0])
+    active = flat >= 0
+    if np.any(flat[active] >= n):
+        raise ValidationError("schedule table contains an out-of-range job id")
+    np.add.at(mass, flat[active], p[rows[active], flat[active]])
+    if cap:
+        np.minimum(mass, 1.0, out=mass)
+    return mass
+
+
+def mass_profile(p: np.ndarray, table: np.ndarray, cap: bool = True) -> np.ndarray:
+    """Cumulative per-job mass after each step: shape ``(T, n)``.
+
+    Row ``t`` is the mass accumulated by the end of step ``t+1`` (steps are
+    1-based in the paper).  Used to check the AccMass-C precedence condition
+    — a successor may only be scheduled after its predecessor reached the
+    target mass.
+    """
+    m, n = p.shape
+    tab = np.asarray(table)
+    if tab.ndim != 2 or tab.shape[1] != m:
+        raise ValidationError(f"table must have shape (T, {m}), got {tab.shape}")
+    T = tab.shape[0]
+    steps = np.zeros((T, n), dtype=np.float64)
+    for t in range(T):
+        row = tab[t]
+        active = row >= 0
+        np.add.at(steps[t], row[active], p[np.flatnonzero(active), row[active]])
+    profile = np.cumsum(steps, axis=0)
+    if cap:
+        np.minimum(profile, 1.0, out=profile)
+    return profile

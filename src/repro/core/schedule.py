@@ -1,0 +1,716 @@
+"""Schedule representations (Definitions 2.1–2.3 and 4.1–4.2).
+
+The paper works with four kinds of schedules:
+
+* **General / adaptive schedules** (Def 2.1): an assignment function per
+  (unfinished set, step).  Represented here by :class:`AdaptivePolicy`,
+  a callable computing the assignment from the execution state — this covers
+  SUU-I-ALG, the greedy baselines, and arbitrary custom policies.
+* **Regimens** (Def 2.2, Malewicz): the assignment depends only on the
+  unfinished set.  :class:`Regimen` stores the explicit table (exponential
+  in ``n``; used by the exact solver on small instances).
+* **Oblivious schedules** (Def 2.3): one fixed assignment per step,
+  independent of the unfinished set.  :class:`ObliviousSchedule` is a finite
+  ``(T, m)`` job table; :class:`CyclicSchedule` is a finite prefix followed
+  by an infinitely repeated cycle — the shape of every schedule the paper's
+  §3–4 constructions output (``Σ_{o,2} ∘ Σ_{o,3}^∞``).
+* **Pseudo-schedules** (Def 4.1): a machine may be assigned a *set* of jobs
+  per step; produced by LP rounding for chains, made feasible later by
+  random delays + flattening.  :class:`PseudoSchedule` plus the structured
+  :class:`ChainBands` / :class:`JobWindow` used by the chain pipeline.
+
+Execution semantics (shared by the simulator): at each step the scheduled
+job of each machine is looked up; if that job is already finished or not yet
+eligible, the machine idles for the step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ScheduleError, ValidationError
+from . import mass as mass_mod
+from .instance import SUUInstance
+
+__all__ = [
+    "IDLE",
+    "validate_assignment",
+    "ObliviousSchedule",
+    "CyclicSchedule",
+    "AdaptivePolicy",
+    "Regimen",
+    "JobWindow",
+    "ChainBand",
+    "ChainBands",
+    "PseudoSchedule",
+    "ScheduleResult",
+]
+
+#: Sentinel job id meaning "machine is idle" (the paper's ⊥).
+IDLE: int = -1
+
+
+def validate_assignment(assignment: np.ndarray, n: int, m: int) -> np.ndarray:
+    """Validate a one-step assignment vector and return it as int32.
+
+    ``assignment[i]`` is the job machine ``i`` works on, or :data:`IDLE`.
+    """
+    a = np.asarray(assignment)
+    if a.shape != (m,):
+        raise ValidationError(f"assignment must have shape ({m},), got {a.shape}")
+    a = a.astype(np.int32, copy=True)
+    if np.any(a < IDLE) or np.any(a >= n):
+        raise ValidationError("assignment entries must be IDLE or a job id in [0, n)")
+    return a
+
+
+# ----------------------------------------------------------------------
+# Oblivious schedules
+# ----------------------------------------------------------------------
+class ObliviousSchedule:
+    """A finite oblivious schedule: a ``(T, m)`` table of job ids.
+
+    Entry ``(t, i)`` is the job machine ``i`` is assigned in step ``t``
+    (0-based here; the paper counts steps from 1), or :data:`IDLE`.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: np.ndarray):
+        tab = np.asarray(table)
+        if tab.ndim != 2:
+            raise ValidationError(f"schedule table must be 2-D, got shape {tab.shape}")
+        if tab.size and np.any(tab < IDLE):
+            raise ValidationError("schedule table entries must be >= -1")
+        self._table = tab.astype(np.int32, copy=True)
+        self._table.setflags(write=False)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def empty(cls, m: int) -> "ObliviousSchedule":
+        """A zero-length schedule on ``m`` machines."""
+        return cls(np.empty((0, m), dtype=np.int32))
+
+    @classmethod
+    def idle(cls, length: int, m: int) -> "ObliviousSchedule":
+        """``length`` steps of every machine idling."""
+        return cls(np.full((length, m), IDLE, dtype=np.int32))
+
+    @classmethod
+    def single_step(cls, assignment: np.ndarray) -> "ObliviousSchedule":
+        return cls(np.asarray(assignment, dtype=np.int32)[None, :])
+
+    @classmethod
+    def from_machine_sequences(
+        cls, sequences: Sequence[Sequence[int]], length: int | None = None
+    ) -> "ObliviousSchedule":
+        """Build from per-machine job sequences, padding with IDLE.
+
+        ``sequences[i]`` lists the jobs machine ``i`` works on in
+        consecutive steps starting at step 0.
+        """
+        m = len(sequences)
+        T = max((len(s) for s in sequences), default=0)
+        if length is not None:
+            if length < T:
+                raise ValidationError(
+                    f"requested length {length} shorter than longest sequence {T}"
+                )
+            T = length
+        table = np.full((T, m), IDLE, dtype=np.int32)
+        for i, seq in enumerate(sequences):
+            for t, j in enumerate(seq):
+                table[t, i] = j
+        return cls(table)
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def table(self) -> np.ndarray:
+        """The read-only ``(T, m)`` table."""
+        return self._table
+
+    @property
+    def length(self) -> int:
+        return self._table.shape[0]
+
+    @property
+    def m(self) -> int:
+        return self._table.shape[1]
+
+    def assignment_at(self, t: int) -> np.ndarray:
+        """The step-``t`` assignment (0-based).  Idle beyond the end."""
+        if t < self.length:
+            return self._table[t]
+        return np.full(self.m, IDLE, dtype=np.int32)
+
+    def jobs_used(self) -> np.ndarray:
+        """Sorted array of distinct job ids appearing in the table."""
+        vals = np.unique(self._table)
+        return vals[vals >= 0]
+
+    def machine_loads(self) -> np.ndarray:
+        """Number of non-idle steps per machine."""
+        return (self._table != IDLE).sum(axis=0)
+
+    # -- composition ------------------------------------------------------
+    def concat(self, other: "ObliviousSchedule") -> "ObliviousSchedule":
+        """This schedule followed by ``other`` (the paper's ``Σ1 ∘ Σ2``)."""
+        if other.m != self.m:
+            raise ScheduleError(
+                f"cannot concatenate schedules with {self.m} and {other.m} machines"
+            )
+        return ObliviousSchedule(np.vstack([self._table, other._table]))
+
+    def __add__(self, other: "ObliviousSchedule") -> "ObliviousSchedule":
+        return self.concat(other)
+
+    def repeat(self, k: int) -> "ObliviousSchedule":
+        """The whole schedule repeated ``k`` times back to back."""
+        if k < 0:
+            raise ValidationError("repeat count must be >= 0")
+        return ObliviousSchedule(np.tile(self._table, (k, 1)))
+
+    def replicate_steps(self, sigma: int) -> "ObliviousSchedule":
+        """Each *step* repeated ``sigma`` times in place (§4.1 replication).
+
+        This is the paper's ``Σ_{o,2}``: ``f_t = g_{⌊(t-1)/σ⌋+1}``.  Unlike
+        :meth:`repeat` it preserves the relative order of distinct steps, so
+        precedence-respecting windows remain precedence-respecting.
+        """
+        if sigma < 1:
+            raise ValidationError("replication factor must be >= 1")
+        return ObliviousSchedule(np.repeat(self._table, sigma, axis=0))
+
+    def relabel_jobs(self, mapping: Mapping[int, int] | np.ndarray) -> "ObliviousSchedule":
+        """Rewrite job ids through ``mapping`` (used by the block scheduler).
+
+        ``mapping`` maps old ids to new ids; IDLE entries pass through.
+        """
+        if isinstance(mapping, np.ndarray):
+            lut = mapping
+        else:
+            size = max(mapping.keys(), default=-1) + 1
+            lut = np.full(size, IDLE, dtype=np.int64)
+            for old, new in mapping.items():
+                lut[old] = new
+        out = self._table.copy()
+        active = out >= 0
+        vals = out[active]
+        if vals.size and (vals.max() >= len(lut)):
+            raise ScheduleError("relabel mapping does not cover all job ids")
+        mapped = lut[vals]
+        if np.any(mapped < 0):
+            raise ScheduleError("relabel mapping does not cover all job ids")
+        out[active] = mapped
+        return ObliviousSchedule(out)
+
+    # -- analysis ----------------------------------------------------------
+    def masses(self, instance: SUUInstance, cap: bool = True) -> np.ndarray:
+        """Total per-job mass accumulated by the schedule (Def 2.4)."""
+        return mass_mod.cumulative_mass(instance.p, self._table, cap=cap)
+
+    def mass_profile(self, instance: SUUInstance, cap: bool = True) -> np.ndarray:
+        return mass_mod.mass_profile(instance.p, self._table, cap=cap)
+
+    def validate_against(self, instance: SUUInstance) -> None:
+        """Check machine count and job-id range against ``instance``."""
+        if self.m != instance.m:
+            raise ScheduleError(
+                f"schedule has {self.m} machines, instance has {instance.m}"
+            )
+        if self.length and int(self._table.max(initial=-1)) >= instance.n:
+            raise ScheduleError("schedule references a job id beyond the instance")
+
+    def respects_mass_precedence(
+        self, instance: SUUInstance, threshold: float
+    ) -> bool:
+        """Condition (ii) of AccMass-C (§4.1).
+
+        True iff for every precedence edge ``j1 ≺ j2`` no machine is
+        assigned to ``j2`` before ``j1`` has accumulated mass ``threshold``.
+        """
+        self.validate_against(instance)
+        if not instance.dag.num_edges or self.length == 0:
+            return True
+        profile = self.mass_profile(instance)  # (T, n) capped
+        first_sched = np.full(instance.n, np.iinfo(np.int64).max, dtype=np.int64)
+        for t in range(self.length):
+            row = self._table[t]
+            for j in row[row >= 0]:
+                if t < first_sched[j]:
+                    first_sched[j] = t
+        eps = 1e-9
+        for (j1, j2) in instance.dag.edges:
+            t2 = first_sched[j2]
+            if t2 == np.iinfo(np.int64).max:
+                continue
+            # Mass of j1 accumulated strictly before step t2.
+            m1 = profile[t2 - 1, j1] if t2 > 0 else 0.0
+            if m1 + eps < threshold:
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObliviousSchedule):
+            return NotImplemented
+        return bool(np.array_equal(self._table, other._table))
+
+    def __repr__(self) -> str:
+        return f"ObliviousSchedule(T={self.length}, m={self.m})"
+
+    def to_dict(self) -> dict:
+        return {"kind": "oblivious", "table": self._table.tolist()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObliviousSchedule":
+        return cls(np.asarray(data["table"], dtype=np.int32))
+
+
+class CyclicSchedule:
+    """A finite prefix followed by an infinitely repeated cycle.
+
+    This is the form of every §3–4 construction: a replicated core schedule
+    (whp sufficient) followed by the serial tail ``Σ_{o,3}`` that guarantees
+    finite expected makespan.  The schedule is defined for every step
+    ``t >= 0``: prefix steps first, then the cycle forever.
+    """
+
+    __slots__ = ("_prefix", "_cycle")
+
+    def __init__(self, prefix: ObliviousSchedule, cycle: ObliviousSchedule):
+        if cycle.length == 0:
+            raise ValidationError("cycle must have positive length")
+        if prefix.m != cycle.m:
+            raise ValidationError("prefix and cycle must have the same machine count")
+        self._prefix = prefix
+        self._cycle = cycle
+
+    @property
+    def prefix(self) -> ObliviousSchedule:
+        return self._prefix
+
+    @property
+    def cycle(self) -> ObliviousSchedule:
+        return self._cycle
+
+    @property
+    def m(self) -> int:
+        return self._cycle.m
+
+    @property
+    def prefix_length(self) -> int:
+        return self._prefix.length
+
+    @property
+    def cycle_length(self) -> int:
+        return self._cycle.length
+
+    def assignment_at(self, t: int) -> np.ndarray:
+        if t < self._prefix.length:
+            return self._prefix.table[t]
+        return self._cycle.table[(t - self._prefix.length) % self._cycle.length]
+
+    def validate_against(self, instance: SUUInstance) -> None:
+        self._prefix.validate_against(instance)
+        self._cycle.validate_against(instance)
+
+    def truncate(self, length: int) -> ObliviousSchedule:
+        """The first ``length`` steps as a finite oblivious schedule."""
+        if length <= self._prefix.length:
+            return ObliviousSchedule(self._prefix.table[:length])
+        extra = length - self._prefix.length
+        reps = -(-extra // self._cycle.length)
+        tail = np.tile(self._cycle.table, (reps, 1))[:extra]
+        return ObliviousSchedule(np.vstack([self._prefix.table, tail]))
+
+    def __repr__(self) -> str:
+        return (
+            f"CyclicSchedule(prefix={self._prefix.length}, "
+            f"cycle={self._cycle.length}, m={self.m})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "cyclic",
+            "prefix": self._prefix.table.tolist(),
+            "cycle": self._cycle.table.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CyclicSchedule":
+        m = len(data["cycle"][0]) if data["cycle"] else 0
+        prefix_tab = np.asarray(data["prefix"], dtype=np.int32)
+        if prefix_tab.size == 0:
+            prefix_tab = prefix_tab.reshape(0, m)
+        return cls(
+            ObliviousSchedule(prefix_tab),
+            ObliviousSchedule(np.asarray(data["cycle"], dtype=np.int32)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Adaptive schedules
+# ----------------------------------------------------------------------
+@dataclass
+class AdaptivePolicy:
+    """A general schedule (Def 2.1) given by an assignment rule.
+
+    ``rule(instance, unfinished, eligible, t, rng)`` returns the ``(m,)``
+    assignment for step ``t`` (0-based) given the current sets of
+    unfinished and eligible jobs (as frozensets of job ids).  The rule may
+    use ``rng`` for randomized policies; deterministic rules simply ignore
+    it.
+    """
+
+    rule: Callable[
+        [SUUInstance, frozenset[int], frozenset[int], int, np.random.Generator],
+        np.ndarray,
+    ]
+    name: str = "adaptive"
+
+    def assignment_for(
+        self,
+        instance: SUUInstance,
+        unfinished: frozenset[int],
+        eligible: frozenset[int],
+        t: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        a = self.rule(instance, unfinished, eligible, t, rng)
+        return validate_assignment(a, instance.n, instance.m)
+
+    def __repr__(self) -> str:
+        return f"AdaptivePolicy({self.name!r})"
+
+
+class Regimen:
+    """An explicit regimen (Def 2.2): one assignment per unfinished set.
+
+    Exponential in ``n``; only used on small instances, primarily as the
+    output of the exact Malewicz solver.  States are bitmasks of unfinished
+    jobs.
+    """
+
+    __slots__ = ("_n", "_m", "_assignments")
+
+    def __init__(self, n: int, m: int, assignments: Mapping[int, np.ndarray]):
+        self._n = int(n)
+        self._m = int(m)
+        table: dict[int, np.ndarray] = {}
+        for state, a in assignments.items():
+            table[int(state)] = validate_assignment(np.asarray(a), self._n, self._m)
+        self._assignments = table
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def states(self) -> list[int]:
+        return sorted(self._assignments)
+
+    def assignment_for_state(self, state: int) -> np.ndarray:
+        """Assignment for the unfinished-set bitmask ``state``."""
+        try:
+            return self._assignments[int(state)]
+        except KeyError:
+            raise ScheduleError(
+                f"regimen has no assignment for state {state:#x}"
+            ) from None
+
+    def as_policy(self) -> AdaptivePolicy:
+        """View the regimen as an :class:`AdaptivePolicy` for the simulator."""
+
+        def rule(instance, unfinished, eligible, t, rng):
+            state = 0
+            for j in unfinished:
+                state |= 1 << j
+            return self.assignment_for_state(state)
+
+        return AdaptivePolicy(rule, name="regimen")
+
+    def __repr__(self) -> str:
+        return f"Regimen(n={self._n}, m={self._m}, states={len(self._assignments)})"
+
+
+# ----------------------------------------------------------------------
+# Pseudo-schedules (Def 4.1) and chain bands
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobWindow:
+    """One job's slot inside a chain band.
+
+    ``machine_units[i]`` machines-steps of machine ``i`` are placed at
+    steps ``start .. start + machine_units[i] - 1`` (each machine occupies a
+    prefix of the window, exactly as in the proof of Theorem 4.1).  The
+    window has length ``length = max_i machine_units[i]`` (or the explicit
+    ``d``-driven length if longer).
+    """
+
+    job: int
+    start: int
+    length: int
+    machine_units: tuple[tuple[int, int], ...]  # sorted (machine, units) pairs
+
+    @property
+    def end(self) -> int:
+        """One past the last step of the window."""
+        return self.start + self.length
+
+    def total_units(self) -> int:
+        return sum(u for _, u in self.machine_units)
+
+    def shifted(self, delay: int) -> "JobWindow":
+        return JobWindow(self.job, self.start + delay, self.length, self.machine_units)
+
+
+@dataclass(frozen=True)
+class ChainBand:
+    """The pseudo-schedule of one precedence chain: consecutive job windows."""
+
+    chain_id: int
+    windows: tuple[JobWindow, ...]
+
+    def length(self) -> int:
+        return max((w.end for w in self.windows), default=0)
+
+    def shifted(self, delay: int) -> "ChainBand":
+        if delay < 0:
+            raise ValidationError("delay must be >= 0")
+        return ChainBand(self.chain_id, tuple(w.shifted(delay) for w in self.windows))
+
+    def jobs(self) -> list[int]:
+        return [w.job for w in self.windows]
+
+    def machine_load(self, m: int) -> np.ndarray:
+        """Total units placed on each machine by this band."""
+        load = np.zeros(m, dtype=np.int64)
+        for w in self.windows:
+            for i, u in w.machine_units:
+                load[i] += u
+        return load
+
+
+class ChainBands:
+    """A structured pseudo-schedule: one band per chain (proof of Thm 4.1).
+
+    This keeps the chain structure explicit so the random-delay step can
+    shift whole chains, and converts to a flat :class:`PseudoSchedule` on
+    demand.
+    """
+
+    def __init__(self, m: int, bands: Sequence[ChainBand]):
+        self._m = int(m)
+        self._bands = tuple(bands)
+        seen: set[int] = set()
+        for band in self._bands:
+            for w in band.windows:
+                if w.job in seen:
+                    raise ValidationError(f"job {w.job} appears in two bands")
+                seen.add(w.job)
+                for i, u in w.machine_units:
+                    if not (0 <= i < self._m):
+                        raise ValidationError(f"machine {i} out of range")
+                    if u < 0:
+                        raise ValidationError("machine units must be >= 0")
+                    if u > w.length:
+                        raise ValidationError(
+                            f"job {w.job}: machine {i} has {u} units but window "
+                            f"length is only {w.length}"
+                        )
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def bands(self) -> tuple[ChainBand, ...]:
+        return self._bands
+
+    def length(self) -> int:
+        return max((b.length() for b in self._bands), default=0)
+
+    def machine_loads(self) -> np.ndarray:
+        """Per-machine total units (Def 4.2 load is the max of these)."""
+        load = np.zeros(self._m, dtype=np.int64)
+        for band in self._bands:
+            load += band.machine_load(self._m)
+        return load
+
+    def load(self) -> int:
+        """The pseudo-schedule load (Def 4.2): max over machines."""
+        loads = self.machine_loads()
+        return int(loads.max()) if loads.size else 0
+
+    def pi_max(self) -> int:
+        """The paper's ``Π_max``: the load, used as the delay range."""
+        return self.load()
+
+    def with_delays(self, delays: Sequence[int]) -> "ChainBands":
+        """Shift band ``k`` by ``delays[k]`` steps (the random-delay step)."""
+        if len(delays) != len(self._bands):
+            raise ValidationError(
+                f"got {len(delays)} delays for {len(self._bands)} bands"
+            )
+        return ChainBands(
+            self._m, [b.shifted(int(d)) for b, d in zip(self._bands, delays)]
+        )
+
+    def to_pseudo(self) -> "PseudoSchedule":
+        """Flatten the bands into a step-indexed pseudo-schedule."""
+        T = self.length()
+        steps: list[list[list[int]]] = [[[] for _ in range(self._m)] for _ in range(T)]
+        for band in self._bands:
+            for w in band.windows:
+                for i, u in w.machine_units:
+                    for t in range(w.start, w.start + u):
+                        steps[t][i].append(w.job)
+        return PseudoSchedule(self._m, steps)
+
+    def job_masses(self, instance: SUUInstance) -> np.ndarray:
+        """Uncapped per-job mass: ``sum_i p_ij * units_ij``."""
+        mass = np.zeros(instance.n, dtype=np.float64)
+        for band in self._bands:
+            for w in band.windows:
+                for i, u in w.machine_units:
+                    mass[w.job] += instance.p[i, w.job] * u
+        return mass
+
+    def __repr__(self) -> str:
+        return (
+            f"ChainBands(m={self._m}, chains={len(self._bands)}, "
+            f"length={self.length()}, load={self.load()})"
+        )
+
+
+class PseudoSchedule:
+    """A flat pseudo-schedule (Def 4.1): per step, per machine, a job list.
+
+    ``steps[t][i]`` is the list of jobs assigned to machine ``i`` in step
+    ``t`` — possibly more than one, which is what makes it *pseudo* (and
+    infeasible to execute directly).
+    """
+
+    def __init__(self, m: int, steps: Sequence[Sequence[Sequence[int]]]):
+        self._m = int(m)
+        self._steps: list[tuple[tuple[int, ...], ...]] = []
+        for t, row in enumerate(steps):
+            if len(row) != self._m:
+                raise ValidationError(
+                    f"step {t} has {len(row)} machine entries, expected {self._m}"
+                )
+            self._steps.append(tuple(tuple(int(j) for j in jobs) for jobs in row))
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    @property
+    def length(self) -> int:
+        return len(self._steps)
+
+    def jobs_at(self, t: int, i: int) -> tuple[int, ...]:
+        return self._steps[t][i]
+
+    def machine_loads(self) -> np.ndarray:
+        load = np.zeros(self._m, dtype=np.int64)
+        for row in self._steps:
+            for i, jobs in enumerate(row):
+                load[i] += len(jobs)
+        return load
+
+    def load(self) -> int:
+        """Def 4.2: maximum total units on any machine."""
+        loads = self.machine_loads()
+        return int(loads.max()) if loads.size else 0
+
+    def max_collision(self) -> int:
+        """Max number of jobs on one machine in one step (the SSW quantity)."""
+        best = 0
+        for row in self._steps:
+            for jobs in row:
+                if len(jobs) > best:
+                    best = len(jobs)
+        return best
+
+    def collision_histogram(self) -> dict[int, int]:
+        """How many (machine, step) pairs have each collision count >= 1."""
+        hist: dict[int, int] = {}
+        for row in self._steps:
+            for jobs in row:
+                c = len(jobs)
+                if c:
+                    hist[c] = hist.get(c, 0) + 1
+        return hist
+
+    def is_feasible(self) -> bool:
+        """True iff no machine ever has more than one job (an oblivious schedule)."""
+        return self.max_collision() <= 1
+
+    def to_oblivious(self) -> ObliviousSchedule:
+        """Convert, requiring feasibility (use delay+flatten otherwise)."""
+        if not self.is_feasible():
+            raise ScheduleError(
+                "pseudo-schedule has collisions; apply delays/flattening first"
+            )
+        table = np.full((self.length, self._m), IDLE, dtype=np.int32)
+        for t, row in enumerate(self._steps):
+            for i, jobs in enumerate(row):
+                if jobs:
+                    table[t, i] = jobs[0]
+        return ObliviousSchedule(table)
+
+    def __repr__(self) -> str:
+        return (
+            f"PseudoSchedule(T={self.length}, m={self._m}, "
+            f"load={self.load()}, max_collision={self.max_collision()})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Result container
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleResult:
+    """Output of a scheduling algorithm.
+
+    Attributes
+    ----------
+    schedule:
+        The executable schedule (usually a :class:`CyclicSchedule`, or an
+        :class:`AdaptivePolicy` for adaptive algorithms).
+    finite_core:
+        For oblivious constructions, the finite high-probability part
+        (before the serial safety tail); ``None`` for adaptive policies.
+    algorithm:
+        Name of the producing algorithm.
+    certificates:
+        Per-construction invariants checked at build time (minimum mass,
+        load bounds, collision counts, LP values, ...).  Keys are
+        algorithm-specific; tests and benchmarks assert on them.
+    meta:
+        Free-form provenance (parameters, constants preset, timings).
+    """
+
+    schedule: ObliviousSchedule | CyclicSchedule | AdaptivePolicy | Regimen
+    algorithm: str
+    finite_core: ObliviousSchedule | None = None
+    certificates: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def is_oblivious(self) -> bool:
+        return isinstance(self.schedule, (ObliviousSchedule, CyclicSchedule))
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduleResult(algorithm={self.algorithm!r}, "
+            f"schedule={self.schedule!r})"
+        )

@@ -1,0 +1,5 @@
+"""Chain decomposition of forest DAGs (Lemma 4.6)."""
+
+from .chain_decomposition import ChainDecomposition, decompose_forest, lemma46_width_bound
+
+__all__ = ["ChainDecomposition", "decompose_forest", "lemma46_width_bound"]

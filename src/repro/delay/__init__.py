@@ -1,0 +1,14 @@
+"""Random/derandomized chain delays and pseudo-schedule flattening."""
+
+from .derandomize import derandomized_delays
+from .flatten import flatten_pseudo
+from .random_delay import DelayOutcome, find_good_delays, sample_delays, ssw_collision_bound
+
+__all__ = [
+    "DelayOutcome",
+    "derandomized_delays",
+    "find_good_delays",
+    "flatten_pseudo",
+    "sample_delays",
+    "ssw_collision_bound",
+]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input object (instance, DAG, schedule, ...) failed validation."""
+
+
+class CycleError(ValidationError):
+    """A precedence graph contains a directed cycle."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed or incompatible with an instance."""
+
+
+class LPError(ReproError):
+    """The LP solver failed or returned a non-optimal status."""
+
+
+class InfeasibleError(LPError):
+    """A linear program that should be feasible was reported infeasible."""
+
+
+class RoundingError(ReproError):
+    """LP rounding failed to produce a certified integral solution."""
+
+
+class ExactSolverLimitError(ReproError):
+    """An exact (exponential-time) solver was asked to exceed its size guard."""
+
+
+class UnsupportedDagError(ReproError):
+    """The precedence DAG class is not covered by the requested algorithm."""
+
+
+class SimulationLimitError(ReproError):
+    """A simulation exceeded its step budget without completing."""

@@ -1,0 +1,6 @@
+"""Integral max-flow and the Theorem 4.1 rounding network."""
+
+from .dinic import FlowEdge, FlowNetwork
+from .network import RoundingNetwork, build_rounding_network
+
+__all__ = ["FlowEdge", "FlowNetwork", "RoundingNetwork", "build_rounding_network"]

@@ -1,0 +1,23 @@
+"""Linear programming layer: generic model plus the AccMass LPs."""
+
+from .acc_mass import (
+    DEFAULT_TARGET_MASS,
+    FractionalAccMass,
+    build_lp1,
+    build_lp2,
+    solve_lp1,
+    solve_lp2,
+)
+from .model import LinearProgram, LPSolution, VariableIndexer
+
+__all__ = [
+    "DEFAULT_TARGET_MASS",
+    "FractionalAccMass",
+    "build_lp1",
+    "build_lp2",
+    "solve_lp1",
+    "solve_lp2",
+    "LinearProgram",
+    "LPSolution",
+    "VariableIndexer",
+]

@@ -1,0 +1,185 @@
+"""The AccMass linear programs: (LP1) for chains, (LP2) for independent jobs.
+
+(LP1), §4.1 of the paper::
+
+    min t
+    s.t.  Σ_i p_ij x_ij >= 1/2          ∀ j          (mass)
+          Σ_j x_ij      <= t            ∀ i          (machine load)
+          Σ_{j∈C_k} d_j <= t            ∀ chain C_k  (chain length)
+          0 <= x_ij <= d_j              ∀ i, j       (window)
+          d_j >= 1                      ∀ j
+
+Variables ``x_ij`` exist only for pairs with ``p_ij > 0``.  (LP2), used by
+Theorem 4.5 for independent jobs, drops the chain and window constraints.
+
+The LP optimum ``T*`` relates to the optimal expected makespan through
+Lemma 4.2: ``T* <= 16 T^OPT`` — which is also how the package derives its
+LP lower bound ``T^OPT >= T*/16``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import SUUInstance
+from ..errors import ValidationError
+from .model import LinearProgram, LPSolution
+
+__all__ = ["FractionalAccMass", "build_lp1", "build_lp2", "solve_lp1", "solve_lp2"]
+
+#: Target mass per job in the LP (the paper's 1/2).
+DEFAULT_TARGET_MASS = 0.5
+
+
+@dataclass
+class FractionalAccMass:
+    """A fractional AccMass solution.
+
+    ``x`` is dense ``(m, n)`` (zero where ``p_ij = 0``), ``d`` the per-job
+    window lengths (all ones for LP2, where the constraint is absent), and
+    ``t`` the LP optimum ``T*``.
+    """
+
+    x: np.ndarray
+    d: np.ndarray
+    t: float
+    target_mass: float
+    chains: list[list[int]]
+
+    @property
+    def masses(self) -> np.ndarray:
+        """Per-job fractional mass ``Σ_i p_ij x_ij`` (needs the instance's p).
+
+        Stored at solve time; see :func:`solve_lp1`.
+        """
+        return self._masses  # type: ignore[attr-defined]
+
+
+def _validate_chains(instance: SUUInstance, chains: list[list[int]]) -> None:
+    seen: set[int] = set()
+    for chain in chains:
+        for j in chain:
+            if not (0 <= j < instance.n):
+                raise ValidationError(f"chain job {j} out of range")
+            if j in seen:
+                raise ValidationError(f"job {j} appears in two chains")
+            seen.add(j)
+    if len(seen) != instance.n:
+        missing = set(range(instance.n)) - seen
+        raise ValidationError(f"chains do not cover jobs {sorted(missing)}")
+
+
+def build_lp1(
+    instance: SUUInstance,
+    chains: list[list[int]] | None = None,
+    target_mass: float = DEFAULT_TARGET_MASS,
+) -> LinearProgram:
+    """Assemble (LP1) for ``instance`` with the given chain partition.
+
+    ``chains`` defaults to the instance DAG's own chains (requires a
+    disjoint-chains DAG).  Singleton chains are allowed, so the same
+    builder covers independent jobs with window semantics.
+    """
+    if chains is None:
+        chains = instance.dag.chains()
+    _validate_chains(instance, chains)
+    m, n = instance.m, instance.n
+    p = instance.p
+    lp = LinearProgram()
+    t_var = "t"
+    lp.add_var(t_var, lb=0.0, obj=1.0)
+    for j in range(n):
+        lp.add_var(("d", j), lb=1.0)
+    pairs: list[tuple[int, int]] = []
+    for i in range(m):
+        for j in range(n):
+            if p[i, j] > 0.0:
+                lp.add_var(("x", i, j), lb=0.0)
+                pairs.append((i, j))
+    # (1) mass
+    for j in range(n):
+        coeffs = {("x", i, j): p[i, j] for i in range(m) if p[i, j] > 0.0}
+        lp.add_ge(coeffs, target_mass, name=f"mass[{j}]")
+    # (2) machine load
+    for i in range(m):
+        coeffs = {("x", i, j): 1.0 for j in range(n) if p[i, j] > 0.0}
+        coeffs[t_var] = -1.0
+        lp.add_le(coeffs, 0.0, name=f"load[{i}]")
+    # (3) chain length
+    for k, chain in enumerate(chains):
+        coeffs = {("d", j): 1.0 for j in chain}
+        coeffs[t_var] = -1.0
+        lp.add_le(coeffs, 0.0, name=f"chain[{k}]")
+    # (4) windows
+    for (i, j) in pairs:
+        lp.add_le({("x", i, j): 1.0, ("d", j): -1.0}, 0.0, name=f"win[{i},{j}]")
+    return lp
+
+
+def build_lp2(
+    instance: SUUInstance, target_mass: float = DEFAULT_TARGET_MASS
+) -> LinearProgram:
+    """Assemble (LP2): (LP1) without chain/window constraints (Thm 4.5)."""
+    m, n = instance.m, instance.n
+    p = instance.p
+    lp = LinearProgram()
+    lp.add_var("t", lb=0.0, obj=1.0)
+    for i in range(m):
+        for j in range(n):
+            if p[i, j] > 0.0:
+                lp.add_var(("x", i, j), lb=0.0)
+    for j in range(n):
+        coeffs = {("x", i, j): p[i, j] for i in range(m) if p[i, j] > 0.0}
+        lp.add_ge(coeffs, target_mass, name=f"mass[{j}]")
+    for i in range(m):
+        coeffs = {("x", i, j): 1.0 for j in range(n) if p[i, j] > 0.0}
+        coeffs["t"] = -1.0
+        lp.add_le(coeffs, 0.0, name=f"load[{i}]")
+    return lp
+
+
+def _extract(
+    instance: SUUInstance,
+    sol: LPSolution,
+    chains: list[list[int]],
+    target_mass: float,
+    has_d: bool,
+) -> FractionalAccMass:
+    m, n = instance.m, instance.n
+    x = np.zeros((m, n), dtype=np.float64)
+    for i in range(m):
+        for j in range(n):
+            if ("x", i, j) in sol.indexer:
+                x[i, j] = max(0.0, sol[("x", i, j)])
+    if has_d:
+        d = np.array([max(1.0, sol[("d", j)]) for j in range(n)])
+    else:
+        d = np.maximum(1.0, x.max(axis=0))
+    frac = FractionalAccMass(
+        x=x, d=d, t=float(sol.value), target_mass=target_mass, chains=chains
+    )
+    frac._masses = (instance.p * x).sum(axis=0)  # type: ignore[attr-defined]
+    return frac
+
+
+def solve_lp1(
+    instance: SUUInstance,
+    chains: list[list[int]] | None = None,
+    target_mass: float = DEFAULT_TARGET_MASS,
+) -> FractionalAccMass:
+    """Solve (LP1); always feasible (assign enough steps to every job)."""
+    if chains is None:
+        chains = instance.dag.chains()
+    lp = build_lp1(instance, chains, target_mass)
+    return _extract(instance, lp.solve(), chains, target_mass, has_d=True)
+
+
+def solve_lp2(
+    instance: SUUInstance, target_mass: float = DEFAULT_TARGET_MASS
+) -> FractionalAccMass:
+    """Solve (LP2) for independent jobs."""
+    chains = [[j] for j in range(instance.n)]
+    lp = build_lp2(instance, target_mass)
+    return _extract(instance, lp.solve(), chains, target_mass, has_d=False)

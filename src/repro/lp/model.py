@@ -1,0 +1,160 @@
+"""A small sparse LP modelling layer over ``scipy.optimize.linprog``.
+
+The paper's (LP1)/(LP2) are ordinary linear programs; this layer gives them
+named variables and named constraint rows so the builders in
+:mod:`repro.lp.acc_mass` read like the paper and the tests can inspect
+individual constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import LPError, ValidationError
+
+__all__ = ["VariableIndexer", "LinearProgram", "LPSolution"]
+
+
+class VariableIndexer:
+    """Assigns dense indices to named variables (hashable keys)."""
+
+    def __init__(self) -> None:
+        self._index: dict = {}
+        self._names: list = []
+
+    def add(self, key) -> int:
+        """Register ``key`` and return its index; keys must be unique."""
+        if key in self._index:
+            raise ValidationError(f"variable {key!r} already defined")
+        idx = len(self._names)
+        self._index[key] = idx
+        self._names.append(key)
+        return idx
+
+    def __getitem__(self, key) -> int:
+        return self._index[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    @property
+    def names(self) -> list:
+        return list(self._names)
+
+
+@dataclass
+class LPSolution:
+    """Solved LP: optimal value, variable vector, and lookup by name."""
+
+    value: float
+    x: np.ndarray
+    indexer: VariableIndexer
+    status: str = "optimal"
+
+    def __getitem__(self, key) -> float:
+        return float(self.x[self.indexer[key]])
+
+
+class LinearProgram:
+    """``min c·x  s.t.  A_ub x <= b_ub,  lb <= x <= ub`` with named rows.
+
+    Rows are accumulated as triplets and assembled into one CSR matrix at
+    solve time.  Equality constraints are expressed as paired inequalities
+    by the (few) callers that need them.
+    """
+
+    def __init__(self) -> None:
+        self.vars = VariableIndexer()
+        self._obj: dict[int, float] = {}
+        self._rows: list[dict[int, float]] = []
+        self._rhs: list[float] = []
+        self._row_names: list[str] = []
+        self._lb: dict[int, float] = {}
+        self._ub: dict[int, float] = {}
+
+    # -- variables -------------------------------------------------------
+    def add_var(self, key, lb: float = 0.0, ub: float = np.inf, obj: float = 0.0) -> int:
+        idx = self.vars.add(key)
+        self._lb[idx] = float(lb)
+        self._ub[idx] = float(ub)
+        if obj:
+            self._obj[idx] = float(obj)
+        return idx
+
+    # -- constraints -------------------------------------------------------
+    def add_le(self, coeffs: dict, rhs: float, name: str = "") -> int:
+        """Add ``sum coeffs[key] * x[key] <= rhs``; returns the row id."""
+        row = {}
+        for key, c in coeffs.items():
+            if c == 0.0:
+                continue
+            row[self.vars[key]] = row.get(self.vars[key], 0.0) + float(c)
+        self._rows.append(row)
+        self._rhs.append(float(rhs))
+        self._row_names.append(name or f"row{len(self._rows) - 1}")
+        return len(self._rows) - 1
+
+    def add_ge(self, coeffs: dict, rhs: float, name: str = "") -> int:
+        """Add ``sum coeffs[key] * x[key] >= rhs`` (stored negated)."""
+        return self.add_le({k: -c for k, c in coeffs.items()}, -float(rhs), name=name)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.vars)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_names(self) -> list[str]:
+        return list(self._row_names)
+
+    # -- assembly and solving ----------------------------------------------
+    def _assemble(self) -> tuple[np.ndarray, sparse.csr_matrix, np.ndarray, list]:
+        nv = self.num_vars
+        c = np.zeros(nv)
+        for idx, v in self._obj.items():
+            c[idx] = v
+        data, rows, cols = [], [], []
+        for r, row in enumerate(self._rows):
+            for idx, v in row.items():
+                rows.append(r)
+                cols.append(idx)
+                data.append(v)
+        A = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(self._rows), nv), dtype=np.float64
+        )
+        b = np.asarray(self._rhs, dtype=np.float64)
+        bounds = [(self._lb[i], None if np.isinf(self._ub[i]) else self._ub[i]) for i in range(nv)]
+        return c, A, b, bounds
+
+    def solve(self) -> LPSolution:
+        """Solve with HiGHS; raises :class:`LPError` on any non-optimal status."""
+        from scipy.optimize import linprog
+
+        if self.num_vars == 0:
+            return LPSolution(value=0.0, x=np.zeros(0), indexer=self.vars)
+        c, A, b, bounds = self._assemble()
+        res = linprog(c, A_ub=A if self.num_rows else None, b_ub=b if self.num_rows else None, bounds=bounds, method="highs")
+        if not res.success:
+            raise LPError(f"LP solve failed: status={res.status} ({res.message})")
+        return LPSolution(value=float(res.fun), x=np.asarray(res.x), indexer=self.vars)
+
+    def check_feasible(self, x: np.ndarray, tol: float = 1e-7) -> bool:
+        """Check that a candidate point satisfies all rows and bounds."""
+        _, A, b, bounds = self._assemble()
+        if np.any(A @ x > b + tol):
+            return False
+        for i, (lo, hi) in enumerate(bounds):
+            if x[i] < lo - tol:
+                return False
+            if hi is not None and x[i] > hi + tol:
+                return False
+        return True

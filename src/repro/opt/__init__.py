@@ -1,0 +1,13 @@
+"""Exact (exponential-time) reference solvers for small instances."""
+
+from .bruteforce import count_assignments, iter_assignments, max_sum_mass_opt
+from .malewicz import ExactSolution, optimal_expected_makespan, optimal_regimen
+
+__all__ = [
+    "count_assignments",
+    "iter_assignments",
+    "max_sum_mass_opt",
+    "ExactSolution",
+    "optimal_expected_makespan",
+    "optimal_regimen",
+]

@@ -1,0 +1,75 @@
+"""Brute-force exact solvers for tiny instances.
+
+Used as ground truth in tests and experiments: the MaxSumMass optimum
+(Theorem 3.2 compares MSM-ALG against it) and exhaustive one-step
+assignment enumeration shared with the Malewicz solver.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.schedule import IDLE
+from ..errors import ExactSolverLimitError
+
+__all__ = ["max_sum_mass_opt", "iter_assignments", "count_assignments"]
+
+
+def count_assignments(m: int, num_jobs: int, allow_idle: bool = True) -> int:
+    """Number of one-step assignments enumerated by :func:`iter_assignments`."""
+    base = num_jobs + (1 if allow_idle else 0)
+    return base**m if num_jobs else 1
+
+
+def iter_assignments(
+    m: int, jobs: Sequence[int], allow_idle: bool = True
+) -> Iterable[np.ndarray]:
+    """Yield every assignment of ``m`` machines to ``jobs`` (or idle).
+
+    Assignments are ``(m,)`` int arrays whose entries come from ``jobs``
+    plus optionally :data:`IDLE`.  The iteration order is deterministic.
+    """
+    choices = list(jobs) + ([IDLE] if allow_idle else [])
+    if not choices:
+        yield np.full(m, IDLE, dtype=np.int32)
+        return
+    for combo in product(choices, repeat=m):
+        yield np.array(combo, dtype=np.int32)
+
+
+def max_sum_mass_opt(
+    p: np.ndarray, max_enumeration: int = 2_000_000
+) -> tuple[float, np.ndarray]:
+    """Exact optimum of Problem MaxSumMass by exhaustive enumeration.
+
+    Maximizes ``sum_j min(1, sum_{i: f(i)=j} p_ij)`` over all assignments
+    ``f: M -> J ∪ {⊥}``.  Returns ``(optimal_mass, argmax_assignment)``.
+
+    Idle is never strictly better than working (capped masses cannot
+    decrease when machines are added), but idle assignments are enumerated
+    anyway so the returned optimum is over the full space of Figure 2.
+    """
+    m, n = p.shape
+    total = count_assignments(m, n, allow_idle=True)
+    if total > max_enumeration:
+        raise ExactSolverLimitError(
+            f"MaxSumMass enumeration needs {total} assignments "
+            f"(limit {max_enumeration})"
+        )
+    best_val = -1.0
+    best_a: np.ndarray | None = None
+    for a in iter_assignments(m, range(n), allow_idle=True):
+        mass = np.zeros(n, dtype=np.float64)
+        for i in range(m):
+            j = int(a[i])
+            if j != IDLE:
+                mass[j] += p[i, j]
+        val = float(np.minimum(mass, 1.0).sum())
+        if val > best_val + 1e-15:
+            best_val = val
+            best_a = a
+    assert best_a is not None
+    return best_val, best_a

@@ -1,0 +1,130 @@
+"""Exact optimal regimens (Malewicz's dynamic program, [21]).
+
+Malewicz showed that an optimal schedule can be taken to be a *regimen*
+(the assignment depends only on the unfinished set) and that when both the
+DAG width and ``m`` are constants an optimal regimen is computable in
+polynomial time by dynamic programming over unfinished sets.  This module
+implements that DP exactly, by enumerating, for every reachable unfinished
+set ``S``, all assignments of machines to eligible jobs and choosing the
+one minimizing
+
+    E[S] = (1 + Σ_{S' ⊊ S} P_a(S→S') · E[S']) / (1 − P_a(S→S)) ,
+
+which is the standard first-passage optimality equation for absorbing
+chains whose transitions never add jobs back.  Processing states in order
+of increasing popcount makes every needed ``E[S']`` available.
+
+Complexity is ``O(2^n · (k+1)^m · 2^k)`` with ``k`` the number of eligible
+jobs per state — exact ground truth for the ratio experiments on small
+instances, exactly the regime Malewicz proved tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import SUUInstance
+from ..core.schedule import Regimen
+from ..errors import ExactSolverLimitError
+from ..sim.markov import eligible_bitmask, transition_distribution
+from .bruteforce import count_assignments, iter_assignments
+
+__all__ = ["ExactSolution", "optimal_regimen", "optimal_expected_makespan"]
+
+
+@dataclass
+class ExactSolution:
+    """An exact optimum: the regimen and its expected makespan."""
+
+    regimen: Regimen
+    expected_makespan: float
+    states_solved: int
+
+
+def _reachable_states(n: int) -> list[int]:
+    """All subsets ordered by increasing popcount (0 first).
+
+    Every subset can be reachable in principle (any combination of jobs can
+    complete in one step), so we solve the full lattice; the DP only reads
+    values of strict subsets.
+    """
+    return sorted(range(1 << n), key=lambda s: s.bit_count())
+
+
+def optimal_regimen(
+    instance: SUUInstance,
+    max_states: int = 1 << 14,
+    max_assignments_per_state: int = 200_000,
+) -> ExactSolution:
+    """Compute an exact optimal regimen by Malewicz's DP.
+
+    Raises :class:`ExactSolverLimitError` when ``2^n`` exceeds
+    ``max_states`` or some state would require enumerating more than
+    ``max_assignments_per_state`` assignments — the guards that keep this
+    solver inside the "constant width, constant m" regime where it is
+    intended to run.
+    """
+    n, m = instance.n, instance.m
+    if n > 62:
+        raise ExactSolverLimitError("bitmask solver limited to 62 jobs")
+    if (1 << n) > max_states:
+        raise ExactSolverLimitError(
+            f"exact DP needs 2^{n} states (limit {max_states})"
+        )
+    expect = np.zeros(1 << n, dtype=np.float64)
+    assignments: dict[int, np.ndarray] = {}
+    states = _reachable_states(n)
+    for state in states:
+        if state == 0:
+            continue
+        elig_mask = eligible_bitmask(instance, state)
+        eligible = [j for j in range(n) if (elig_mask >> j) & 1]
+        if not eligible:  # unreachable in a valid execution, but stay total
+            eligible = [j for j in range(n) if (state >> j) & 1]
+        total = count_assignments(m, len(eligible), allow_idle=False)
+        if total > max_assignments_per_state:
+            raise ExactSolverLimitError(
+                f"state with {len(eligible)} eligible jobs needs {total} "
+                f"assignments (limit {max_assignments_per_state})"
+            )
+        best_e = np.inf
+        best_a: np.ndarray | None = None
+        # Idle machines are never needed: assigning any eligible job weakly
+        # dominates idling (success probabilities only increase), so we
+        # enumerate total functions M -> eligible only.
+        for a in iter_assignments(m, eligible, allow_idle=False):
+            dist = transition_distribution(instance, state, a)
+            stay = dist.get(state, 0.0)
+            if stay >= 1.0 - 1e-15:
+                continue  # no progress; infinite expectation
+            acc = 1.0
+            for nxt, pr in dist.items():
+                if nxt != state:
+                    acc += pr * expect[nxt]
+            e = acc / (1.0 - stay)
+            if e < best_e - 1e-15:
+                best_e = e
+                best_a = a.copy()
+        if best_a is None:
+            raise ExactSolverLimitError(
+                f"no progressing assignment from state {state:#x} "
+                "(some eligible job has p_ij = 0 on all machines?)"
+            )
+        expect[state] = best_e
+        assignments[state] = best_a
+    regimen = Regimen(n, m, assignments)
+    full = (1 << n) - 1
+    return ExactSolution(
+        regimen=regimen,
+        expected_makespan=float(expect[full]),
+        states_solved=len(assignments),
+    )
+
+
+def optimal_expected_makespan(
+    instance: SUUInstance, max_states: int = 1 << 14
+) -> float:
+    """Convenience wrapper: just the optimal expected makespan ``T^OPT``."""
+    return optimal_regimen(instance, max_states=max_states).expected_makespan

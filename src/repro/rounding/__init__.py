@@ -1,0 +1,5 @@
+"""LP rounding (Theorem 4.1) producing certified integral AccMass solutions."""
+
+from .round_lp import IntegralAccMass, round_acc_mass
+
+__all__ = ["IntegralAccMass", "round_acc_mass"]

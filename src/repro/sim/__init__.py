@@ -1,0 +1,32 @@
+"""Stochastic simulation and exact analysis of SUU schedules."""
+
+from .engine import DEFAULT_MAX_STEPS, ExecutionResult, eligible_mask, simulate, simulate_or_raise
+from .exec_tree import ExecutionTree, build_execution_tree
+from .markov import (
+    eligible_bitmask,
+    exact_completion_curve,
+    expected_makespan_cyclic,
+    expected_makespan_regimen,
+    state_distribution,
+    transition_distribution,
+)
+from .montecarlo import MakespanEstimate, completion_curve, estimate_makespan
+
+__all__ = [
+    "DEFAULT_MAX_STEPS",
+    "ExecutionResult",
+    "eligible_mask",
+    "simulate",
+    "simulate_or_raise",
+    "ExecutionTree",
+    "build_execution_tree",
+    "eligible_bitmask",
+    "exact_completion_curve",
+    "state_distribution",
+    "expected_makespan_cyclic",
+    "expected_makespan_regimen",
+    "transition_distribution",
+    "MakespanEstimate",
+    "completion_curve",
+    "estimate_makespan",
+]

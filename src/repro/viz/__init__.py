@@ -1,0 +1,6 @@
+"""Terminal visualization: ASCII Gantt charts and sparklines."""
+
+from .curves import render_curve, sparkline
+from .gantt import render_gantt, render_machine_timeline
+
+__all__ = ["render_curve", "sparkline", "render_gantt", "render_machine_timeline"]

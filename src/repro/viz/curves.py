@@ -1,0 +1,60 @@
+"""Terminal sparklines and curve rendering for completion probabilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "render_curve"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, lo: float | None = None, hi: float | None = None) -> str:
+    """Render a sequence of numbers as a unicode sparkline."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi - lo < 1e-12:
+        return _BARS[0] * arr.size
+    scaled = np.clip((arr - lo) / (hi - lo), 0.0, 1.0)
+    idx = np.minimum((scaled * len(_BARS)).astype(int), len(_BARS) - 1)
+    return "".join(_BARS[i] for i in idx)
+
+
+def render_curve(
+    values,
+    width: int = 60,
+    height: int = 10,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a curve as an ASCII plot (rows = value bands, cols = samples).
+
+    Values are resampled to ``width`` columns by taking the mean of each
+    bucket; the y-axis spans [min, max] of the data.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return "(no data)"
+    # resample to `width`
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = max(hi - lo, 1e-12)
+    rows: list[str] = []
+    for level in range(height, 0, -1):
+        threshold = lo + span * (level - 0.5) / height
+        line = "".join("█" if v >= threshold else " " for v in arr)
+        label = f"{lo + span * level / height:6.2f} |" if level in (1, height) else "       |"
+        rows.append(label + line)
+    out = []
+    if title:
+        out.append(title)
+    out.extend(rows)
+    out.append("       +" + "-" * len(arr))
+    if y_label:
+        out.append(f"        {y_label}")
+    return "\n".join(out)

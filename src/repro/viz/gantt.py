@@ -1,0 +1,88 @@
+"""ASCII Gantt rendering of oblivious schedules.
+
+Oblivious schedules are fixed tables, so they can be *printed* — one of
+their practical virtues the paper emphasizes (a staffing plan, a grid
+reservation).  This renderer shows machines as rows and steps as columns,
+one glyph per job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import SUUInstance
+from ..core.schedule import IDLE, CyclicSchedule, ObliviousSchedule
+
+__all__ = ["render_gantt", "render_machine_timeline"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _job_glyph(j: int) -> str:
+    if j == IDLE:
+        return "."
+    if j < len(_GLYPHS):
+        return _GLYPHS[j]
+    return "#"
+
+
+def render_gantt(
+    schedule: ObliviousSchedule | CyclicSchedule,
+    max_steps: int = 60,
+    instance: SUUInstance | None = None,
+) -> str:
+    """Render the first ``max_steps`` steps as an ASCII Gantt chart.
+
+    Rows are machines, columns steps; each cell shows the assigned job's
+    glyph (0-9, a-z, A-Z, then ``#`` beyond 62 jobs; ``.`` = idle).  With
+    an ``instance``, machines whose assigned job would be idled by the
+    execution semantics are *not* distinguished — the chart shows the plan,
+    not an execution.
+    """
+    if isinstance(schedule, CyclicSchedule):
+        table = schedule.truncate(max_steps).table
+        cut = schedule.prefix_length if schedule.prefix_length < max_steps else None
+    else:
+        table = schedule.table[:max_steps]
+        cut = None
+    T, m = table.shape
+    lines: list[str] = []
+    header = "        " + "".join(str((t // 10) % 10) if t % 10 == 0 else " " for t in range(T))
+    ruler = "  step  " + "".join(str(t % 10) for t in range(T))
+    lines.append(header)
+    lines.append(ruler)
+    for i in range(m):
+        row = "".join(_job_glyph(int(j)) for j in table[:, i])
+        lines.append(f"  m{i:<4d}  {row}")
+    if cut is not None:
+        lines.append(f"  (serial tail begins at step {cut})")
+    if instance is not None:
+        lines.append(
+            f"  jobs: {instance.n}, machines: {instance.m}, "
+            f"dag: {instance.classify().value}"
+        )
+    return "\n".join(lines)
+
+
+def render_machine_timeline(
+    schedule: ObliviousSchedule, machine: int, max_steps: int = 200
+) -> str:
+    """A single machine's job sequence as a compact run-length string.
+
+    Example output: ``j3×5 → j7×2 → idle×4 → j1×1``.
+    """
+    if not (0 <= machine < schedule.m):
+        raise ValueError(f"machine {machine} out of range")
+    col = schedule.table[:max_steps, machine]
+    if col.size == 0:
+        return "(empty schedule)"
+    runs: list[tuple[int, int]] = []
+    for j in col:
+        if runs and runs[-1][0] == int(j):
+            runs[-1] = (int(j), runs[-1][1] + 1)
+        else:
+            runs.append((int(j), 1))
+    parts = [
+        (f"idle×{c}" if j == IDLE else f"j{j}×{c}") for j, c in runs
+    ]
+    return " → ".join(parts)

@@ -1,0 +1,103 @@
+"""The paper's two motivating scenarios as concrete workloads (§1).
+
+* **Grid computing** — a computational task split into stages of parallel
+  pieces with cross-stage dependencies, executed on geographically
+  distributed, unreliable machines.  Modelled as a forest of fork/join-free
+  stage trees (to stay within the paper's DAG classes) with
+  machine-speed × distance-derated probabilities.
+* **Project management** — phases of tasks forming chains per workstream,
+  with skilled workers: each worker is strong on one specialty and weak
+  elsewhere, and several workers may gang up on a risky task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng
+from ..core.dag import PrecedenceDAG
+from ..core.instance import SUUInstance
+from ..errors import ValidationError
+from .generators import probability_matrix
+
+__all__ = ["grid_computing", "project_management"]
+
+
+def grid_computing(
+    num_workflows: int = 4,
+    stages: int = 4,
+    fanout: int = 2,
+    machines: int = 8,
+    rng: np.random.Generator | int | None = None,
+    reliability: tuple[float, float] = (0.1, 0.9),
+) -> SUUInstance:
+    """A grid workload: ``num_workflows`` independent out-trees of depth
+    ``stages`` where each job spawns ``fanout`` dependents in the next stage.
+
+    Machines model distributed compute nodes: each has a base reliability
+    and a per-workflow locality factor (data may live far away), giving the
+    heterogeneous ``p_ij`` the paper motivates.
+    """
+    rng = as_rng(rng)
+    if min(num_workflows, stages, fanout, machines) < 1:
+        raise ValidationError("all size parameters must be >= 1")
+    edges: list[tuple[int, int]] = []
+    job_workflow: list[int] = []
+    next_id = 0
+    for w in range(num_workflows):
+        frontier = [next_id]
+        job_workflow.append(w)
+        next_id += 1
+        for _ in range(stages - 1):
+            new_frontier: list[int] = []
+            for u in frontier:
+                for _ in range(fanout):
+                    v = next_id
+                    next_id += 1
+                    job_workflow.append(w)
+                    edges.append((u, v))
+                    new_frontier.append(v)
+            frontier = new_frontier
+    n = next_id
+    dag = PrecedenceDAG(n, edges)
+    lo, hi = reliability
+    base = rng.uniform(lo, hi, size=machines)
+    locality = rng.uniform(0.3, 1.0, size=(machines, num_workflows))
+    difficulty = rng.uniform(0.5, 1.0, size=n)
+    p = np.empty((machines, n))
+    for j in range(n):
+        p[:, j] = np.clip(base * locality[:, job_workflow[j]] * difficulty[j], lo / 2, hi)
+    return SUUInstance(p, dag, name=f"grid({num_workflows}x{stages}x{fanout}, m={machines})")
+
+
+def project_management(
+    workstreams: int = 5,
+    tasks_per_stream: int = 4,
+    workers: int = 6,
+    rng: np.random.Generator | int | None = None,
+    skill: tuple[float, float] = (0.05, 0.85),
+) -> SUUInstance:
+    """A project: disjoint chains (workstreams) and specialist workers.
+
+    Worker ``i`` has a specialty workstream where success probabilities are
+    high; elsewhere they are low — the manager's reason to gang several
+    workers onto one risky task, exactly the paper's §1 story.
+    """
+    rng = as_rng(rng)
+    if min(workstreams, tasks_per_stream, workers) < 1:
+        raise ValidationError("all size parameters must be >= 1")
+    n = workstreams * tasks_per_stream
+    chains = [
+        list(range(w * tasks_per_stream, (w + 1) * tasks_per_stream))
+        for w in range(workstreams)
+    ]
+    dag = PrecedenceDAG.from_chains(chains, n)
+    lo, hi = skill
+    p = rng.uniform(lo, min(3 * lo, hi), size=(workers, n))
+    for i in range(workers):
+        specialty = int(rng.integers(0, workstreams))
+        cols = chains[specialty]
+        p[i, cols] = rng.uniform(max(0.5 * hi, lo), hi, size=len(cols))
+    return SUUInstance(
+        p, dag, name=f"project({workstreams}x{tasks_per_stream}, workers={workers})"
+    )

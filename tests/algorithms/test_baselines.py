@@ -1,0 +1,146 @@
+"""Tests for the baseline schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SUUInstance
+from repro.algorithms import (
+    all_baselines,
+    exact_baseline,
+    greedy_prob_policy,
+    random_policy,
+    round_robin_baseline,
+    serial_baseline,
+)
+from repro.opt import optimal_expected_makespan
+from repro.sim import estimate_makespan, expected_makespan_cyclic, simulate
+
+
+class TestSerial:
+    def test_finishes_chain(self, tiny_chain, rng):
+        result = serial_baseline(tiny_chain)
+        res = simulate(tiny_chain, result.schedule, rng=rng, max_steps=50_000)
+        assert res.finished
+
+    def test_expected_value_single_job(self):
+        inst = SUUInstance(np.array([[0.5], [0.5]]))
+        result = serial_baseline(inst)
+        # all machines on the one job: E = 1/(1-0.25) = 4/3
+        exact = expected_makespan_cyclic(inst, result.schedule)
+        assert exact == pytest.approx(1 / 0.75)
+
+    def test_never_violates_precedence(self, tiny_tree, rng):
+        result = serial_baseline(tiny_tree)
+        for rep in range(5):
+            res = simulate(tiny_tree, result.schedule, rng=rep, max_steps=50_000)
+            assert res.finished
+            for (u, v) in tiny_tree.dag.edges:
+                assert res.completion[u] < res.completion[v]
+
+
+class TestRoundRobin:
+    def test_cycle_length_n(self, medium_independent):
+        result = round_robin_baseline(medium_independent)
+        assert result.schedule.cycle_length == medium_independent.n
+
+    def test_every_pair_appears(self, tiny_independent):
+        result = round_robin_baseline(tiny_independent)
+        table = result.schedule.cycle.table
+        for i in range(tiny_independent.m):
+            assert sorted(set(table[:, i].tolist())) == [0, 1, 2]
+
+    def test_finishes(self, tiny_chain, rng):
+        result = round_robin_baseline(tiny_chain)
+        res = simulate(tiny_chain, result.schedule, rng=rng, max_steps=50_000)
+        assert res.finished
+
+
+class TestGreedyAndRandom:
+    def test_greedy_is_deterministic(self, medium_independent, rng):
+        policy = greedy_prob_policy(medium_independent).schedule
+        a1 = policy.assignment_for(
+            medium_independent, frozenset(range(5)), frozenset(range(5)), 0, rng
+        )
+        a2 = policy.assignment_for(
+            medium_independent, frozenset(range(5)), frozenset(range(5)), 0, rng
+        )
+        assert a1.tolist() == a2.tolist()
+
+    def test_greedy_picks_argmax(self, tiny_independent, rng):
+        policy = greedy_prob_policy(tiny_independent).schedule
+        a = policy.assignment_for(
+            tiny_independent, frozenset({0, 1, 2}), frozenset({0, 1, 2}), 0, rng
+        )
+        # machine 0's best job is 0 (p=0.9), machine 1's is 1 (0.8),
+        # machine 2's is 2 (0.7)
+        assert a.tolist() == [0, 1, 2]
+
+    def test_random_assigns_eligible_only(self, tiny_chain, rng):
+        policy = random_policy(tiny_chain).schedule
+        a = policy.assignment_for(
+            tiny_chain, frozenset({0, 1, 2}), frozenset({0}), 0, rng
+        )
+        assert set(int(j) for j in a if j >= 0) <= {0}
+
+    def test_both_finish(self, tiny_tree, rng):
+        for factory in (greedy_prob_policy, random_policy):
+            result = factory(tiny_tree)
+            est = estimate_makespan(
+                tiny_tree, result.schedule, reps=30, rng=rng, max_steps=50_000
+            )
+            assert est.truncated == 0
+
+
+class TestExactBaseline:
+    def test_matches_dp_value(self, tiny_independent):
+        result = exact_baseline(tiny_independent)
+        assert result.certificates["expected_makespan"] == pytest.approx(
+            optimal_expected_makespan(tiny_independent)
+        )
+
+    def test_beats_other_baselines(self, tiny_independent, rng):
+        exact = exact_baseline(tiny_independent)
+        topt = exact.certificates["expected_makespan"]
+        for name, result in all_baselines(tiny_independent).items():
+            est = estimate_makespan(
+                tiny_independent, result.schedule, reps=800, rng=rng, max_steps=50_000
+            )
+            assert est.mean >= topt - 3 * est.std_err - 0.05, name
+
+
+class TestAllBaselines:
+    def test_returns_standard_set(self, tiny_independent):
+        names = set(all_baselines(tiny_independent))
+        assert names == {"serial", "round_robin", "greedy", "random"}
+
+
+class TestMSMEligible:
+    def test_restricts_to_eligible(self, tiny_chain, rng):
+        from repro.algorithms import msm_eligible_policy
+
+        policy = msm_eligible_policy(tiny_chain).schedule
+        a = policy.assignment_for(
+            tiny_chain, frozenset({0, 1, 2}), frozenset({0}), 0, rng
+        )
+        assert set(int(j) for j in a if j >= 0) <= {0}
+
+    def test_never_livelocks_on_chains(self, tiny_chain, rng):
+        from repro.algorithms import msm_eligible_policy
+        from repro.sim import simulate
+
+        policy = msm_eligible_policy(tiny_chain).schedule
+        res = simulate(tiny_chain, policy, rng=rng, max_steps=50_000)
+        assert res.finished
+
+    def test_matches_suu_i_alg_on_independent(self, tiny_independent, rng):
+        from repro.algorithms import msm_eligible_policy, suu_i_adaptive
+
+        a = msm_eligible_policy(tiny_independent).schedule.assignment_for(
+            tiny_independent, frozenset({0, 1, 2}), frozenset({0, 1, 2}), 0, rng
+        )
+        b = suu_i_adaptive(tiny_independent).schedule.assignment_for(
+            tiny_independent, frozenset({0, 1, 2}), frozenset({0, 1, 2}), 0, rng
+        )
+        assert a.tolist() == b.tolist()

@@ -1,0 +1,49 @@
+"""Tests for the constants presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import LEAN, PAPER, PRACTICAL, SUUConstants
+
+
+class TestPresets:
+    def test_paper_values_match_the_paper(self):
+        assert PAPER.obl_mass_threshold == pytest.approx(1 / 96)
+        assert PAPER.obl_round_factor == 66.0
+        assert PAPER.replication_factor == 16.0
+        assert PAPER.lp_target_mass == 0.5
+        assert PAPER.rounding_low_scale == 32
+
+    def test_practical_weaker_than_paper(self):
+        assert PRACTICAL.obl_mass_threshold >= PAPER.obl_mass_threshold
+        assert PRACTICAL.replication_factor <= PAPER.replication_factor
+        assert PRACTICAL.rounding_low_scale <= PAPER.rounding_low_scale
+
+    def test_lean_weaker_than_practical(self):
+        assert LEAN.replication_factor <= PRACTICAL.replication_factor
+        assert LEAN.rounding_low_scale <= PRACTICAL.rounding_low_scale
+
+    def test_replication_sigma(self):
+        assert PAPER.replication_sigma(2) == 16
+        assert PAPER.replication_sigma(1024) == 160
+        assert PRACTICAL.replication_sigma(2) >= 1
+
+    def test_round_limit(self):
+        assert PAPER.obl_round_limit(2) == 66
+        assert PRACTICAL.obl_round_limit(16) >= 1
+
+    def test_with_override(self):
+        c = PRACTICAL.with_(replication_factor=9.0)
+        assert c.replication_factor == 9.0
+        assert c.obl_mass_threshold == PRACTICAL.obl_mass_threshold
+        assert isinstance(c, SUUConstants)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER.replication_factor = 1.0
+
+    def test_log_floor_at_small_n(self):
+        # degenerate n must still give usable sigma / round limits
+        assert PAPER.replication_sigma(1) >= 1
+        assert PAPER.obl_round_limit(1) >= 1

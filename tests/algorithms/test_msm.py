@@ -1,0 +1,177 @@
+"""Tests for MSM-ALG / MSM-E-ALG — Theorem 3.2 and Lemma 3.4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.msm import msm_alg, msm_e_alg, msm_mass_of_assignment
+from repro.core.schedule import IDLE
+from repro.opt import max_sum_mass_opt
+from repro.workloads import probability_matrix
+
+
+class TestMSMAlg:
+    def test_each_machine_used_once(self):
+        p = probability_matrix(5, 4, rng=0)
+        a = msm_alg(p)
+        assert a.shape == (5,)
+        assert np.all((a >= IDLE) & (a < 4))
+
+    def test_respects_job_subset(self):
+        p = probability_matrix(4, 6, rng=1)
+        a = msm_alg(p, jobs=[2, 5])
+        used = set(int(j) for j in a if j != IDLE)
+        assert used <= {2, 5}
+
+    def test_never_exceeds_unit_mass_budget(self):
+        p = probability_matrix(8, 3, rng=2)
+        a = msm_alg(p)
+        load = np.zeros(3)
+        for i, j in enumerate(a):
+            if j != IDLE:
+                load[j] += p[i, j]
+        assert np.all(load <= 1.0 + 1e-9)
+
+    def test_greedy_takes_biggest_first(self):
+        p = np.array([[0.9, 0.1]])
+        assert msm_alg(p)[0] == 0
+
+    def test_skips_when_budget_full(self):
+        # machine 1's 0.3 on job 0 would push mass over 1 -> goes idle
+        p = np.array([[0.8], [0.3]])
+        a = msm_alg(p)
+        assert a[0] == 0
+        assert a[1] == IDLE
+
+    def test_fills_under_budget(self):
+        p = np.array([[0.6], [0.3]])
+        a = msm_alg(p)
+        assert a.tolist() == [0, 0]
+
+    def test_zero_probabilities_never_assigned(self):
+        p = np.array([[0.0, 0.5], [0.4, 0.0]])
+        a = msm_alg(p)
+        assert a[0] == 1 and a[1] == 0
+
+    def test_deterministic(self):
+        p = probability_matrix(6, 6, rng=3)
+        assert msm_alg(p).tolist() == msm_alg(p).tolist()
+
+    def test_empty_job_set(self):
+        p = probability_matrix(3, 3, rng=4)
+        assert np.all(msm_alg(p, jobs=[]) == IDLE)
+
+
+class TestTheorem32:
+    """MSM-ALG is a 1/3-approximation — verified against brute force."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ratio_random(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = int(rng.integers(2, 5)), int(rng.integers(2, 4))
+        p = rng.uniform(0, 1, size=(m, n))
+        p[:, 0] = np.maximum(p[:, 0], 0.01)  # keep instance valid-ish
+        opt, _ = max_sum_mass_opt(p)
+        got = msm_mass_of_assignment(p, msm_alg(p))
+        assert got >= opt / 3 - 1e-9
+
+    def test_ratio_adversarial_high_probs(self):
+        # all probabilities high: greedy saturates jobs one at a time
+        p = np.full((4, 4), 0.95)
+        opt, _ = max_sum_mass_opt(p)
+        got = msm_mass_of_assignment(p, msm_alg(p))
+        assert got >= opt / 3 - 1e-9
+
+    def test_ratio_case_2a_structure(self):
+        # machine better at j' than j: charging case 2(a) of the proof
+        p = np.array([[0.9, 0.8], [0.15, 0.1]])
+        opt, _ = max_sum_mass_opt(p)
+        got = msm_mass_of_assignment(p, msm_alg(p))
+        assert got >= opt / 3 - 1e-9
+
+    def test_typically_much_better_than_third(self):
+        vals = []
+        for seed in range(20):
+            rng = np.random.default_rng(100 + seed)
+            p = rng.uniform(0, 0.9, size=(3, 3))
+            p[0] = np.maximum(p[0], 0.05)
+            opt, _ = max_sum_mass_opt(p)
+            if opt > 0:
+                vals.append(msm_mass_of_assignment(p, msm_alg(p)) / opt)
+        assert np.mean(vals) > 0.8
+
+
+class TestMSMEAlg:
+    def test_unit_matrix_shape_and_caps(self):
+        p = probability_matrix(4, 6, rng=5)
+        res = msm_e_alg(p, t=7)
+        assert res.x.shape == (4, 6)
+        assert np.all(res.x.sum(axis=1) <= 7)  # machine capacity
+        assert res.schedule.length == 7
+
+    def test_mass_accounting_matches_schedule(self):
+        p = probability_matrix(4, 5, rng=6)
+        res = msm_e_alg(p, t=5)
+        inst_mass = np.zeros(5)
+        for i in range(4):
+            for j in range(5):
+                inst_mass[j] += p[i, j] * res.x[i, j]
+        np.testing.assert_allclose(res.mass, inst_mass)
+
+    def test_mass_never_overshoots_much(self):
+        # the floor() budget keeps each job's mass at most 1 + max p <= 2
+        p = probability_matrix(6, 4, rng=7)
+        res = msm_e_alg(p, t=50)
+        assert np.all(res.mass <= 1.0 + 1e-9)
+
+    def test_length_one_close_to_msm_alg(self):
+        # with t=1, MSM-E-ALG solves the same problem as MSM-ALG; allow
+        # small differences from the floor-budget rule
+        p = probability_matrix(5, 4, rng=8)
+        res = msm_e_alg(p, t=1)
+        single = msm_mass_of_assignment(p, msm_alg(p))
+        assert res.total_capped_mass >= single / 3 - 1e-9
+
+    def test_longer_t_more_mass(self):
+        p = probability_matrix(3, 8, rng=9)
+        m1 = msm_e_alg(p, t=2).total_capped_mass
+        m2 = msm_e_alg(p, t=8).total_capped_mass
+        assert m2 >= m1 - 1e-9
+
+    def test_job_subset(self):
+        p = probability_matrix(4, 6, rng=10)
+        res = msm_e_alg(p, t=4, jobs=[1, 3])
+        assert np.all(res.x[:, [0, 2, 4, 5]] == 0)
+        used = set(res.schedule.jobs_used().tolist())
+        assert used <= {1, 3}
+
+    def test_rejects_bad_t(self):
+        p = probability_matrix(2, 2, rng=11)
+        with pytest.raises(ValueError):
+            msm_e_alg(p, t=0)
+
+    def test_lemma34_against_lp_upper_bound(self):
+        """Lemma 3.4: MSM-E-ALG is within 1/3 of the optimum.
+
+        The fractional assignment LP (machines-capacity t, job mass cap 1)
+        upper-bounds the integral optimum, so comparing against it is a
+        conservative check.
+        """
+        from repro.lp.model import LinearProgram
+
+        rng = np.random.default_rng(12)
+        for _ in range(5):
+            m, n, t = 3, 4, 3
+            p = rng.uniform(0.05, 0.9, size=(m, n))
+            lp = LinearProgram()
+            for i in range(m):
+                for j in range(n):
+                    lp.add_var(("x", i, j), lb=0.0, obj=-p[i, j])
+            for i in range(m):
+                lp.add_le({("x", i, j): 1.0 for j in range(n)}, float(t))
+            for j in range(n):
+                lp.add_le({("x", i, j): p[i, j] for i in range(m)}, 1.0)
+            ub = -lp.solve().value
+            got = msm_e_alg(p, t=t).total_capped_mass
+            assert got >= ub / 3 - 1e-9

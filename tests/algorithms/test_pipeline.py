@@ -1,0 +1,73 @@
+"""Tests for the solve() dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PrecedenceDAG, SUUInstance, UnsupportedDagError
+from repro.algorithms import PRACTICAL, solve
+from repro.workloads import (
+    mixed_forest_dag,
+    out_tree_dag,
+    probability_matrix,
+)
+
+
+@pytest.fixture
+def general_instance(rng):
+    dag = PrecedenceDAG(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    return SUUInstance(probability_matrix(3, 4, rng=rng), dag)
+
+
+class TestDispatch:
+    def test_independent_goes_lp(self, medium_independent, rng):
+        assert solve(medium_independent, rng=rng).algorithm == "suu_i_lp"
+
+    def test_chains(self, small_chains_instance, rng):
+        assert solve(small_chains_instance, rng=rng).algorithm == "solve_chains"
+
+    def test_out_tree(self, rng):
+        inst = SUUInstance(probability_matrix(4, 10, rng=rng), out_tree_dag(10, rng=rng))
+        assert solve(inst, rng=rng).algorithm == "solve_tree"
+
+    def test_mixed_forest(self, rng):
+        inst = SUUInstance(
+            probability_matrix(4, 10, rng=rng), mixed_forest_dag(10, rng=rng)
+        )
+        assert solve(inst, rng=rng).algorithm == "solve_forest"
+
+    def test_general_raises(self, general_instance, rng):
+        with pytest.raises(UnsupportedDagError):
+            solve(general_instance, rng=rng)
+
+    def test_general_fallback_uses_layered(self, general_instance, rng):
+        result = solve(general_instance, rng=rng, allow_fallback=True)
+        assert result.algorithm == "solve_layered"
+
+    def test_general_serial_still_available(self, general_instance, rng):
+        result = solve(general_instance, rng=rng, method="serial")
+        assert result.algorithm == "serial_baseline"
+
+
+class TestMethodOverride:
+    def test_explicit_methods(self, medium_independent, rng):
+        for method, algo in [
+            ("adaptive", "suu_i_adaptive"),
+            ("oblivious", "suu_i_oblivious"),
+            ("lp", "suu_i_lp"),
+            ("serial", "serial_baseline"),
+        ]:
+            assert solve(medium_independent, rng=rng, method=method).algorithm == algo
+
+    def test_chains_method(self, small_chains_instance, rng):
+        result = solve(small_chains_instance, rng=rng, method="chains")
+        assert result.algorithm == "solve_chains"
+
+    def test_unknown_method(self, medium_independent):
+        with pytest.raises(ValueError):
+            solve(medium_independent, method="quantum")
+
+    def test_wrong_method_for_dag_raises(self, small_chains_instance):
+        with pytest.raises(UnsupportedDagError):
+            solve(small_chains_instance, method="adaptive")

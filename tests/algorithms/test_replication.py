@@ -1,0 +1,59 @@
+"""Tests for replication + serial tail (§4.1 assembly)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ObliviousSchedule, SUUInstance
+from repro.algorithms.replication import replicate_with_tail, serial_tail
+from repro.sim import simulate
+
+
+class TestSerialTail:
+    def test_topological_order(self, tiny_chain):
+        tail = serial_tail(tiny_chain)
+        assert tail.length == 3
+        col = tail.table[:, 0].tolist()
+        assert col == [0, 1, 2]
+
+    def test_all_machines_ganged(self, tiny_tree):
+        tail = serial_tail(tiny_tree)
+        for t in range(tail.length):
+            assert len(set(tail.table[t].tolist())) == 1
+
+    def test_tail_alone_finishes(self, tiny_tree, rng):
+        from repro import CyclicSchedule
+
+        sched = CyclicSchedule(ObliviousSchedule.empty(tiny_tree.m), serial_tail(tiny_tree))
+        res = simulate(tiny_tree, sched, rng=rng, max_steps=100_000)
+        assert res.finished
+
+
+class TestReplicateWithTail:
+    def test_structure(self, tiny_independent):
+        core = ObliviousSchedule(np.array([[0, 1, 2], [2, 1, 0]]))
+        sched = replicate_with_tail(core, tiny_independent, sigma=3)
+        assert sched.prefix_length == 6
+        assert sched.cycle_length == 3
+
+    def test_replication_preserves_step_order(self, tiny_independent):
+        core = ObliviousSchedule(np.array([[0, 1, 2], [2, 1, 0]]))
+        sched = replicate_with_tail(core, tiny_independent, sigma=2)
+        col = sched.prefix.table[:, 0].tolist()
+        assert col == [0, 0, 2, 2]
+
+    def test_empty_core(self, tiny_independent):
+        sched = replicate_with_tail(
+            ObliviousSchedule.empty(3), tiny_independent, sigma=5
+        )
+        assert sched.prefix_length == 0
+        assert sched.cycle_length == 3
+
+    def test_mass_precedence_survives_replication(self, tiny_chain):
+        core = ObliviousSchedule(
+            np.array([[0, 0], [0, 0], [1, 1], [2, 2]])
+        )
+        assert core.respects_mass_precedence(tiny_chain, 0.5)
+        sched = replicate_with_tail(core, tiny_chain, sigma=3)
+        assert sched.prefix.respects_mass_precedence(tiny_chain, 0.5)

@@ -1,0 +1,59 @@
+"""Tests for the ratio measurement harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import serial_baseline, suu_i_adaptive
+from repro.analysis import compare_algorithms, measure_ratio, reference_makespan
+
+
+class TestReferenceMakespan:
+    def test_exact_on_tiny(self, tiny_independent):
+        value, kind = reference_makespan(tiny_independent)
+        assert kind == "exact"
+        assert value > 1.0
+
+    def test_lower_bound_on_larger(self, medium_independent):
+        value, kind = reference_makespan(medium_independent, exact_limit=5)
+        assert kind == "lower_bound"
+        assert value > 0
+
+
+class TestMeasureRatio:
+    def test_record_fields(self, tiny_independent, rng):
+        result = suu_i_adaptive(tiny_independent)
+        rec = measure_ratio(tiny_independent, result, reps=100, rng=rng, max_steps=5000)
+        assert rec.ratio == pytest.approx(rec.mean_makespan / rec.reference)
+        assert rec.n == 3 and rec.m == 3
+        assert rec.reference_kind == "exact"
+        assert rec.truncated == 0
+
+    def test_as_dict(self, tiny_independent, rng):
+        result = serial_baseline(tiny_independent)
+        rec = measure_ratio(tiny_independent, result, reps=50, rng=rng, max_steps=5000)
+        d = rec.as_dict()
+        assert d["algorithm"] == "serial_baseline"
+        assert "ratio" in d
+
+    def test_ratio_at_least_one_for_exact_reference(self, tiny_independent, rng):
+        result = serial_baseline(tiny_independent)
+        rec = measure_ratio(tiny_independent, result, reps=600, rng=rng, max_steps=5000)
+        # serial is suboptimal here, so mean/TOPT must exceed ~1
+        assert rec.ratio > 0.9
+
+
+class TestCompareAlgorithms:
+    def test_shared_reference(self, tiny_independent, rng):
+        results = {
+            "adaptive": suu_i_adaptive(tiny_independent),
+            "serial": serial_baseline(tiny_independent),
+        }
+        records = compare_algorithms(
+            tiny_independent, results, reps=100, rng=rng, max_steps=5000
+        )
+        assert len(records) == 2
+        refs = {rec.reference for rec in records}
+        assert len(refs) == 1
+        names = {rec.algorithm for rec in records}
+        assert names == {"adaptive", "serial"}

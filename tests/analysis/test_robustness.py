@@ -1,0 +1,71 @@
+"""Tests for the probability-misestimation robustness harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SUUInstance, ValidationError
+from repro.algorithms import serial_baseline
+from repro.analysis import perturb_instance, robustness_curve
+
+
+class TestPerturbInstance:
+    def test_scale_down(self, tiny_independent):
+        world = perturb_instance(tiny_independent, scale=0.5)
+        np.testing.assert_allclose(world.p, tiny_independent.p * 0.5)
+
+    def test_scale_up_clips_at_one(self):
+        inst = SUUInstance(np.array([[0.9, 0.4]]))
+        world = perturb_instance(inst, scale=2.0)
+        assert world.p[0, 0] == 1.0
+        assert world.p[0, 1] == pytest.approx(0.8)
+
+    def test_zeros_stay_zero(self):
+        inst = SUUInstance(np.array([[0.5, 0.0], [0.0, 0.5]]))
+        world = perturb_instance(inst, scale=1.5, noise=0.2, rng=0)
+        assert world.p[0, 1] == 0.0
+        assert world.p[1, 0] == 0.0
+
+    def test_noise_seeded(self, tiny_independent):
+        a = perturb_instance(tiny_independent, noise=0.3, rng=7)
+        b = perturb_instance(tiny_independent, noise=0.3, rng=7)
+        assert a == b
+
+    def test_dag_preserved(self, tiny_chain):
+        world = perturb_instance(tiny_chain, scale=0.8)
+        assert world.dag == tiny_chain.dag
+
+    def test_validation(self, tiny_independent):
+        with pytest.raises(ValidationError):
+            perturb_instance(tiny_independent, scale=0.0)
+        with pytest.raises(ValidationError):
+            perturb_instance(tiny_independent, noise=1.0)
+
+
+class TestRobustnessCurve:
+    def test_monotone_in_scale(self, tiny_independent, rng):
+        sched = serial_baseline(tiny_independent).schedule
+        result = robustness_curve(
+            tiny_independent, sched, scales=(0.5, 1.0, 1.5), reps=400, rng=rng,
+            max_steps=50_000,
+        )
+        # worse world => longer makespan, better world => shorter
+        assert result.means[0] > result.means[1] > result.means[2]
+
+    def test_degradation_normalized_at_nominal(self, tiny_independent, rng):
+        sched = serial_baseline(tiny_independent).schedule
+        result = robustness_curve(
+            tiny_independent, sched, scales=(1.0,), reps=100, rng=rng,
+            max_steps=50_000,
+        )
+        assert result.degradation[0] == pytest.approx(1.0)
+
+    def test_without_nominal_scale(self, tiny_independent, rng):
+        sched = serial_baseline(tiny_independent).schedule
+        result = robustness_curve(
+            tiny_independent, sched, scales=(0.8,), reps=60, rng=rng,
+            max_steps=50_000,
+        )
+        assert result.nominal_mean > 0
+        assert len(result.means) == 1

@@ -1,0 +1,108 @@
+"""Tests for repro.bounds — every bound must actually lower-bound T^OPT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PrecedenceDAG, SUUInstance
+from repro.bounds import LowerBounds, lower_bounds, lp_lower_bound
+from repro.opt import optimal_expected_makespan
+from repro.workloads import mixed_forest_dag, probability_matrix
+
+
+class TestSoundness:
+    """All bounds <= exact optimum on solvable instances."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_independent(self, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(0.1, 0.9, size=(2, 4))
+        inst = SUUInstance(p)
+        topt = optimal_expected_makespan(inst)
+        lbs = lower_bounds(inst)
+        assert lbs.best <= topt + 1e-6
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chains(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        p = rng.uniform(0.1, 0.9, size=(2, 5))
+        inst = SUUInstance(p, PrecedenceDAG.from_chains([[0, 1, 2], [3, 4]], 5))
+        topt = optimal_expected_makespan(inst)
+        assert lower_bounds(inst).best <= topt + 1e-6
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_trees(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        p = rng.uniform(0.2, 0.9, size=(2, 5))
+        dag = PrecedenceDAG.from_parents([-1, 0, 0, 1, 1])
+        inst = SUUInstance(p, dag)
+        topt = optimal_expected_makespan(inst)
+        assert lower_bounds(inst).best <= topt + 1e-6
+
+    def test_mixed_forest_lp_bound_valid(self):
+        rng = np.random.default_rng(7)
+        p = rng.uniform(0.2, 0.9, size=(2, 6))
+        dag = mixed_forest_dag(6, rng=rng)
+        inst = SUUInstance(p, dag)
+        topt = optimal_expected_makespan(inst)
+        assert lp_lower_bound(inst) <= topt + 1e-6
+
+
+class TestIndividualBounds:
+    def test_single_job_bound_exact_for_one_job(self):
+        inst = SUUInstance(np.array([[0.5], [0.5]]))
+        lbs = lower_bounds(inst, include_lp=False)
+        assert lbs.single_job == pytest.approx(1 / 0.75)
+        assert optimal_expected_makespan(inst) == pytest.approx(1 / 0.75)
+
+    def test_critical_path_dominates_single_job_on_chains(self):
+        p = np.full((2, 4), 0.9)
+        inst = SUUInstance(p, PrecedenceDAG.from_chains([[0, 1, 2, 3]]))
+        lbs = lower_bounds(inst, include_lp=False)
+        assert lbs.critical_path > lbs.single_job
+
+    def test_trivial_steps_at_least_one(self, tiny_independent):
+        lbs = lower_bounds(tiny_independent, include_lp=False)
+        assert lbs.trivial_steps >= 1.0
+
+    def test_include_lp_flag(self, tiny_independent):
+        lbs = lower_bounds(tiny_independent, include_lp=False)
+        assert lbs.lp == 0.0
+
+    def test_as_dict(self, tiny_independent):
+        d = lower_bounds(tiny_independent, include_lp=False).as_dict()
+        assert set(d) == {
+            "single_job",
+            "critical_path",
+            "lp",
+            "throughput",
+            "trivial_steps",
+            "best",
+        }
+        assert d["best"] == max(v for k, v in d.items() if k != "best")
+
+    def test_throughput_scales_with_n(self):
+        p_small = np.full((2, 4), 0.5)
+        p_large = np.full((2, 40), 0.5)
+        lb_s = lower_bounds(SUUInstance(p_small), include_lp=False)
+        lb_l = lower_bounds(SUUInstance(p_large), include_lp=False)
+        assert lb_l.throughput == pytest.approx(10 * lb_s.throughput)
+        assert lb_s.throughput == pytest.approx(4.0)  # n=4, rho=1.0
+
+    def test_throughput_sound_vs_exact(self):
+        rng = np.random.default_rng(11)
+        for _ in range(4):
+            p = rng.uniform(0.3, 0.9, size=(2, 5))
+            inst = SUUInstance(p)
+            assert lower_bounds(inst, include_lp=False).throughput <= (
+                optimal_expected_makespan(inst) + 1e-6
+            )
+
+    def test_tightness_on_hard_single_job(self):
+        # one hard job dominates: the single-job bound should be tight-ish
+        p = np.array([[0.05, 0.9], [0.05, 0.9]])
+        inst = SUUInstance(p)
+        topt = optimal_expected_makespan(inst)
+        lbs = lower_bounds(inst, include_lp=False)
+        assert lbs.best >= 0.5 * topt

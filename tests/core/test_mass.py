@@ -1,0 +1,179 @@
+"""Tests for repro.core.mass — Definition 2.4 and Proposition 2.1."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import ValidationError
+from repro.core.mass import (
+    assignment_mass,
+    assignment_success_prob,
+    cumulative_mass,
+    mass_lower_bound,
+    mass_profile,
+    mass_upper_bound,
+    prop21_holds,
+    success_prob_product,
+)
+
+
+class TestProp21:
+    def test_exact_single(self):
+        assert success_prob_product([0.3]) == pytest.approx(0.3)
+
+    def test_exact_pair(self):
+        assert success_prob_product([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert success_prob_product([]) == 0.0
+
+    def test_upper_bound(self):
+        probs = np.array([0.2, 0.3, 0.4])
+        assert success_prob_product(probs) <= mass_upper_bound(probs)
+
+    def test_lower_bound_small_mass(self):
+        probs = np.array([0.1, 0.2])
+        assert success_prob_product(probs) >= mass_lower_bound(probs)
+
+    def test_lower_bound_caps_at_one(self):
+        probs = np.array([0.9, 0.9, 0.9])
+        # sum is 2.7 > 1 so the usable bound is 1/e
+        assert mass_lower_bound(probs) == pytest.approx(1 / math.e)
+
+    def test_prop21_random_vectors(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            k = int(rng.integers(1, 6))
+            probs = rng.uniform(0, 1, size=k)
+            assert prop21_holds(probs)
+
+    def test_prop21_boundary_zero(self):
+        assert prop21_holds(np.zeros(4))
+
+    def test_prop21_boundary_one(self):
+        assert prop21_holds(np.array([1.0]))
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValidationError):
+            success_prob_product(np.array([1.5]))
+
+    def test_tightness_of_upper_bound(self):
+        # The upper bound is tight as probabilities go to 0.
+        probs = np.array([1e-6, 1e-6])
+        q = success_prob_product(probs)
+        assert q == pytest.approx(mass_upper_bound(probs), rel=1e-4)
+
+
+class TestAssignmentMass:
+    @pytest.fixture
+    def p(self):
+        return np.array([[0.5, 0.2], [0.4, 0.8], [0.3, 0.1]])
+
+    def test_basic(self, p):
+        a = np.array([0, 1, 0])
+        mass = assignment_mass(p, a)
+        assert mass[0] == pytest.approx(0.5 + 0.3)
+        assert mass[1] == pytest.approx(0.8)
+
+    def test_idle_machines(self, p):
+        a = np.array([-1, -1, -1])
+        assert assignment_mass(p, a).sum() == 0.0
+
+    def test_mass_not_capped(self, p):
+        a = np.array([0, 0, 0])
+        assert assignment_mass(p, a)[0] == pytest.approx(1.2)
+
+    def test_rejects_bad_shape(self, p):
+        with pytest.raises(ValidationError):
+            assignment_mass(p, np.array([0, 1]))
+
+    def test_rejects_bad_job(self, p):
+        with pytest.raises(ValidationError):
+            assignment_mass(p, np.array([0, 5, 0]))
+
+
+class TestAssignmentSuccessProb:
+    @pytest.fixture
+    def p(self):
+        return np.array([[0.5, 0.2], [0.4, 0.8], [0.3, 0.1]])
+
+    def test_matches_product_form(self, p):
+        a = np.array([0, 0, 1])
+        q = assignment_success_prob(p, a)
+        assert q[0] == pytest.approx(1 - 0.5 * 0.6)
+        assert q[1] == pytest.approx(0.1)
+
+    def test_unassigned_jobs_zero(self, p):
+        q = assignment_success_prob(p, np.array([-1, -1, -1]))
+        assert np.all(q == 0.0)
+
+    def test_certain_success(self):
+        p = np.array([[1.0, 0.5]])
+        q = assignment_success_prob(p, np.array([0]))
+        assert q[0] == 1.0
+
+    def test_sandwiched_by_prop21(self, p):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            a = rng.integers(-1, 2, size=3)
+            q = assignment_success_prob(p, a)
+            mass = assignment_mass(p, a)
+            assert np.all(q <= mass + 1e-12)
+            small = mass <= 1.0
+            assert np.all(q[small] >= mass[small] / math.e - 1e-12)
+
+
+class TestCumulativeMass:
+    @pytest.fixture
+    def p(self):
+        return np.array([[0.5, 0.2], [0.4, 0.8]])
+
+    def test_two_steps(self, p):
+        table = np.array([[0, 1], [0, 1]])
+        mass = cumulative_mass(p, table, cap=False)
+        assert mass[0] == pytest.approx(1.0)
+        assert mass[1] == pytest.approx(1.6)
+
+    def test_cap(self, p):
+        table = np.array([[0, 1], [0, 1], [0, 1]])
+        mass = cumulative_mass(p, table)
+        assert mass[1] == 1.0
+
+    def test_empty_schedule(self, p):
+        mass = cumulative_mass(p, np.empty((0, 2), dtype=np.int32))
+        assert np.all(mass == 0.0)
+
+    def test_rejects_bad_width(self, p):
+        with pytest.raises(ValidationError):
+            cumulative_mass(p, np.zeros((2, 3), dtype=np.int32))
+
+    def test_rejects_bad_job_id(self, p):
+        with pytest.raises(ValidationError):
+            cumulative_mass(p, np.array([[0, 7]]))
+
+
+class TestMassProfile:
+    def test_profile_monotone_rows(self):
+        rng = np.random.default_rng(2)
+        p = rng.uniform(0.1, 0.9, size=(3, 4))
+        table = rng.integers(-1, 4, size=(6, 3))
+        prof = mass_profile(p, table)
+        assert prof.shape == (6, 4)
+        assert np.all(np.diff(prof, axis=0) >= -1e-12)
+
+    def test_profile_final_row_matches_cumulative(self):
+        rng = np.random.default_rng(3)
+        p = rng.uniform(0.1, 0.9, size=(3, 4))
+        table = rng.integers(-1, 4, size=(5, 3))
+        prof = mass_profile(p, table)
+        np.testing.assert_allclose(prof[-1], cumulative_mass(p, table))
+
+    def test_profile_capped(self):
+        p = np.array([[0.9]])
+        table = np.zeros((5, 1), dtype=np.int32)
+        prof = mass_profile(p, table)
+        assert prof[-1, 0] == 1.0
+        assert prof[0, 0] == pytest.approx(0.9)

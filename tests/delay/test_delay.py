@@ -1,0 +1,166 @@
+"""Tests for repro.delay — random delays, derandomization, flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ChainBand, ChainBands, JobWindow, PrecedenceDAG, SUUInstance
+from repro.delay import (
+    derandomized_delays,
+    find_good_delays,
+    flatten_pseudo,
+    sample_delays,
+    ssw_collision_bound,
+)
+
+
+def colliding_bands(num_chains=6, units=4, m=2):
+    """Bands that all start at step 0 on the same machines: max collisions."""
+    bands = []
+    job = 0
+    for k in range(num_chains):
+        w = JobWindow(
+            job=job, start=0, length=units, machine_units=((k % m, units),)
+        )
+        bands.append(ChainBand(k, (w,)))
+        job += 1
+    return ChainBands(m, bands)
+
+
+class TestSSWBound:
+    def test_reasonable_magnitudes(self):
+        assert ssw_collision_bound(10, 5) >= 2
+        assert ssw_collision_bound(1000, 100) < 40
+
+    def test_sublinear_growth(self):
+        small = ssw_collision_bound(16, 4)
+        large = ssw_collision_bound(4096, 4)
+        assert large <= small * 4
+
+
+class TestSampleDelays:
+    def test_within_window(self, rng):
+        d = sample_delays(100, 7, rng)
+        assert all(0 <= x <= 7 for x in d)
+
+    def test_grid(self, rng):
+        d = sample_delays(100, 20, rng, grid=5)
+        assert all(x % 5 == 0 for x in d)
+        assert all(0 <= x <= 20 for x in d)
+
+    def test_zero_window(self, rng):
+        assert sample_delays(5, 0, rng) == [0] * 5
+
+    def test_negative_window_rejected(self, rng):
+        from repro.errors import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            sample_delays(2, -1, rng)
+
+
+class TestFindGoodDelays:
+    def test_reduces_collisions(self, rng):
+        bands = colliding_bands(num_chains=8, units=4, m=2)
+        before = bands.to_pseudo().max_collision()
+        outcome = find_good_delays(bands, rng=rng)
+        assert outcome.max_collision < before
+        assert outcome.max_collision <= outcome.target
+
+    def test_delays_preserve_loads(self, rng):
+        bands = colliding_bands()
+        outcome = find_good_delays(bands, rng=rng)
+        np.testing.assert_array_equal(
+            outcome.bands.machine_loads(), bands.machine_loads()
+        )
+
+    def test_respects_explicit_window(self, rng):
+        bands = colliding_bands()
+        outcome = find_good_delays(bands, window=3, rng=rng, target=99)
+        assert all(d <= 3 for d in outcome.delays)
+
+    def test_zero_chains(self, rng):
+        bands = ChainBands(2, [])
+        outcome = find_good_delays(bands, rng=rng)
+        assert outcome.delays == []
+        assert outcome.max_collision == 0
+
+    def test_deterministic_given_seed(self):
+        bands = colliding_bands()
+        o1 = find_good_delays(bands, rng=5)
+        o2 = find_good_delays(bands, rng=5)
+        assert o1.delays == o2.delays
+
+
+class TestDerandomized:
+    def test_beats_or_matches_target(self):
+        bands = colliding_bands(num_chains=10, units=3, m=2)
+        outcome = derandomized_delays(bands)
+        # conditional expectations guarantee <= the randomized expectation;
+        # on this workload that is far below the all-collide worst case
+        assert outcome.max_collision < 10
+        assert outcome.attempts == 1
+
+    def test_comparable_to_randomized(self, rng):
+        bands = colliding_bands(num_chains=12, units=3, m=3)
+        det = derandomized_delays(bands)
+        ran = find_good_delays(bands, rng=rng)
+        assert det.max_collision <= 2 * max(1, ran.max_collision)
+
+    def test_deterministic(self):
+        bands = colliding_bands(num_chains=7, units=2, m=2)
+        assert derandomized_delays(bands).delays == derandomized_delays(bands).delays
+
+    def test_grid_respected(self):
+        bands = colliding_bands(num_chains=5, units=4, m=2)
+        outcome = derandomized_delays(bands, window=8, grid=4)
+        assert all(d % 4 == 0 for d in outcome.delays)
+
+
+class TestFlatten:
+    def test_flatten_feasible_noop_length(self):
+        bands = colliding_bands(num_chains=2, units=2, m=2)
+        pseudo = bands.to_pseudo()
+        flat = flatten_pseudo(pseudo)
+        assert flat.length == pseudo.length * pseudo.max_collision()
+
+    def test_flatten_one_job_per_machine_step(self):
+        bands = colliding_bands(num_chains=6, units=3, m=2)
+        flat = flatten_pseudo(bands.to_pseudo())
+        # feasibility: table is an oblivious schedule by construction
+        assert flat.table.ndim == 2
+
+    def test_flatten_preserves_units(self):
+        bands = colliding_bands(num_chains=5, units=3, m=2)
+        pseudo = bands.to_pseudo()
+        flat = flatten_pseudo(pseudo)
+        assert (flat.table >= 0).sum() == sum(
+            len(pseudo.jobs_at(t, i))
+            for t in range(pseudo.length)
+            for i in range(pseudo.m)
+        )
+
+    def test_flatten_preserves_step_order(self):
+        # two jobs of one chain in consecutive steps stay ordered
+        w1 = JobWindow(job=0, start=0, length=1, machine_units=((0, 1),))
+        w2 = JobWindow(job=1, start=1, length=1, machine_units=((0, 1),))
+        bands = ChainBands(1, [ChainBand(0, (w1, w2))])
+        flat = flatten_pseudo(bands.to_pseudo(), expansion=3)
+        col = flat.table[:, 0].tolist()
+        assert col.index(0) < col.index(1)
+
+    def test_explicit_expansion_too_small(self):
+        bands = colliding_bands(num_chains=4, units=2, m=1)
+        with pytest.raises(ValueError):
+            flatten_pseudo(bands.to_pseudo(), expansion=1)
+
+    def test_mass_preserved_end_to_end(self, rng):
+        """Delays + flattening never change any job's total mass."""
+        bands = colliding_bands(num_chains=6, units=3, m=3)
+        p = rng.uniform(0.1, 0.9, size=(3, 6))
+        inst = SUUInstance(p)
+        mass_before = bands.job_masses(inst)
+        outcome = find_good_delays(bands, rng=rng)
+        flat = flatten_pseudo(outcome.bands.to_pseudo())
+        mass_after = flat.masses(inst, cap=False)
+        np.testing.assert_allclose(mass_before, mass_after)

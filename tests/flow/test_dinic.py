@@ -1,0 +1,153 @@
+"""Tests for repro.flow.dinic — integral max-flow correctness."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import ValidationError
+from repro.flow import FlowNetwork
+
+
+def brute_force_max_flow(num_nodes, edges, s, t):
+    """Exponential-time reference: max over all integral sub-flows.
+
+    Enumerates flow values on edges up to capacity and checks conservation;
+    only usable for tiny networks.
+    """
+    best = 0
+    ranges = [range(cap + 1) for (_, _, cap) in edges]
+    for combo in itertools.product(*ranges):
+        net = [0] * num_nodes
+        for (u, v, _), f in zip(edges, combo):
+            net[u] += f
+            net[v] -= f
+        if all(net[x] == 0 for x in range(num_nodes) if x not in (s, t)):
+            best = max(best, net[s])
+    return best
+
+
+class TestBasics:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 1) == 5
+
+    def test_two_disjoint_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3)
+        net.add_edge(1, 3, 3)
+        net.add_edge(0, 2, 2)
+        net.add_edge(2, 3, 2)
+        assert net.max_flow(0, 3) == 5
+
+    def test_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10)
+        net.add_edge(1, 2, 1)
+        assert net.max_flow(0, 2) == 1
+
+    def test_classic_augmenting_diamond(self):
+        # the textbook case needing flow cancellation via residual edges
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(1, 2, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(2, 3, 1)
+        assert net.max_flow(0, 3) == 2
+
+    def test_no_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 2) == 0
+
+    def test_zero_capacity(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 0)
+        assert net.max_flow(0, 1) == 0
+
+    def test_rejects_self_loop(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValidationError):
+            net.add_edge(1, 1, 1)
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValidationError):
+            net.add_edge(0, 1, -1)
+
+    def test_rejects_same_source_sink(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 1)
+        with pytest.raises(ValidationError):
+            net.max_flow(0, 0)
+
+    def test_rejects_out_of_range(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValidationError):
+            net.add_edge(0, 5, 1)
+
+
+class TestFlowProperties:
+    def test_conservation_and_integrality(self):
+        rng = np.random.default_rng(0)
+        for trial in range(25):
+            num_nodes = int(rng.integers(4, 8))
+            net = FlowNetwork(num_nodes)
+            for _ in range(int(rng.integers(4, 14))):
+                u, v = rng.choice(num_nodes, size=2, replace=False)
+                net.add_edge(int(u), int(v), int(rng.integers(0, 6)))
+            value = net.max_flow(0, num_nodes - 1)
+            assert net.check_flow_conservation(0, num_nodes - 1)
+            assert all(isinstance(e.flow, int) for e in net.edges)
+            assert value >= 0
+
+    def test_min_cut_certifies_value(self):
+        rng = np.random.default_rng(1)
+        for trial in range(25):
+            num_nodes = int(rng.integers(4, 8))
+            net = FlowNetwork(num_nodes)
+            for _ in range(int(rng.integers(4, 14))):
+                u, v = rng.choice(num_nodes, size=2, replace=False)
+                net.add_edge(int(u), int(v), int(rng.integers(0, 6)))
+            value = net.max_flow(0, num_nodes - 1)
+            side = net.min_cut_side(0)
+            assert 0 in side and num_nodes - 1 not in side
+            cut_cap = sum(
+                e.capacity for e in net.edges if e.src in side and e.dst not in side
+            )
+            assert cut_cap == value
+
+    def test_matches_brute_force_on_tiny_networks(self):
+        rng = np.random.default_rng(2)
+        for trial in range(10):
+            num_nodes = 4
+            edges = []
+            for _ in range(4):
+                u, v = rng.choice(num_nodes, size=2, replace=False)
+                edges.append((int(u), int(v), int(rng.integers(0, 3))))
+            net = FlowNetwork(num_nodes)
+            for u, v, c in edges:
+                net.add_edge(u, v, c)
+            assert net.max_flow(0, 3) == brute_force_max_flow(num_nodes, edges, 0, 3)
+
+    def test_parallel_edges_supported(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 2)
+        net.add_edge(0, 1, 3)
+        assert net.max_flow(0, 1) == 5
+
+    def test_bipartite_matching_via_flow(self):
+        # perfect matching on K_{3,3} via unit capacities
+        net = FlowNetwork(8)  # 0 source, 1-3 left, 4-6 right, 7 sink
+        for left in (1, 2, 3):
+            net.add_edge(0, left, 1)
+        for right in (4, 5, 6):
+            net.add_edge(right, 7, 1)
+        for left in (1, 2, 3):
+            for right in (4, 5, 6):
+                net.add_edge(left, right, 1)
+        assert net.max_flow(0, 7) == 3

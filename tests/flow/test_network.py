@@ -1,0 +1,97 @@
+"""Tests for repro.flow.network — the Figure 3 rounding network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationError
+from repro.errors import RoundingError
+from repro.flow import build_rounding_network
+
+
+class TestConstruction:
+    def test_basic_saturation(self):
+        net = build_rounding_network(
+            jobs=[0, 1],
+            demands={0: 2, 1: 1},
+            pair_caps={(0, 0): 2, (0, 1): 2, (1, 1): 1},
+            machine_cap=3,
+            num_machines=2,
+        )
+        assert net.solve_or_raise() == 3
+        x = net.extract_x(m=2, n=2)
+        assert x[:, 0].sum() == 2
+        assert x[:, 1].sum() == 1
+        assert x[1, 1] == 1
+
+    def test_machine_cap_binds(self):
+        net = build_rounding_network(
+            jobs=[0, 1],
+            demands={0: 2, 1: 2},
+            pair_caps={(0, 0): 2, (1, 0): 2},
+            machine_cap=3,  # both jobs share machine 0; only 3 units fit
+            num_machines=1,
+        )
+        assert net.solve() == 3
+        with pytest.raises(RoundingError):
+            net2 = build_rounding_network(
+                jobs=[0, 1],
+                demands={0: 2, 1: 2},
+                pair_caps={(0, 0): 2, (1, 0): 2},
+                machine_cap=3,
+                num_machines=1,
+            )
+            net2.solve_or_raise()
+
+    def test_pair_cap_binds(self):
+        net = build_rounding_network(
+            jobs=[0],
+            demands={0: 5},
+            pair_caps={(0, 0): 2, (0, 1): 2},
+            machine_cap=10,
+            num_machines=2,
+        )
+        assert net.solve() == 4
+
+    def test_rejects_pair_for_unknown_job(self):
+        with pytest.raises(ValidationError):
+            build_rounding_network(
+                jobs=[0],
+                demands={0: 1},
+                pair_caps={(1, 0): 1},
+                machine_cap=1,
+                num_machines=1,
+            )
+
+    def test_rejects_machine_out_of_range(self):
+        with pytest.raises(ValidationError):
+            build_rounding_network(
+                jobs=[0],
+                demands={0: 1},
+                pair_caps={(0, 5): 1},
+                machine_cap=1,
+                num_machines=2,
+            )
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValidationError):
+            build_rounding_network(
+                jobs=[0],
+                demands={0: -1},
+                pair_caps={(0, 0): 1},
+                machine_cap=1,
+                num_machines=1,
+            )
+
+    def test_extract_x_zero_for_missing_pairs(self):
+        net = build_rounding_network(
+            jobs=[0],
+            demands={0: 1},
+            pair_caps={(0, 1): 1},
+            machine_cap=1,
+            num_machines=3,
+        )
+        net.solve()
+        x = net.extract_x(m=3, n=1)
+        assert x[0, 0] == 0 and x[2, 0] == 0
+        assert x[1, 0] == 1

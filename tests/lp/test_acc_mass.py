@@ -1,0 +1,112 @@
+"""Tests for repro.lp.acc_mass — (LP1) and (LP2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PrecedenceDAG, SUUInstance, ValidationError
+from repro.lp import build_lp1, solve_lp1, solve_lp2
+
+
+class TestLP1Structure:
+    def test_row_and_var_counts(self, small_chains_instance):
+        inst = small_chains_instance
+        chains = inst.dag.chains()
+        lp = build_lp1(inst, chains)
+        n_pairs = int((inst.p > 0).sum())
+        assert lp.num_vars == 1 + inst.n + n_pairs  # t + d_j + x_ij
+        # mass rows + load rows + chain rows + window rows
+        assert lp.num_rows == inst.n + inst.m + len(chains) + n_pairs
+
+    def test_rejects_overlapping_chains(self, small_chains_instance):
+        with pytest.raises(ValidationError):
+            build_lp1(small_chains_instance, [[0, 1], [1, 2]])
+
+    def test_rejects_partial_cover(self, small_chains_instance):
+        with pytest.raises(ValidationError):
+            build_lp1(small_chains_instance, [[0, 1]])
+
+
+class TestLP1Solutions:
+    def test_constraints_hold(self, small_chains_instance):
+        inst = small_chains_instance
+        frac = solve_lp1(inst)
+        # mass
+        masses = (inst.p * frac.x).sum(axis=0)
+        assert np.all(masses >= 0.5 - 1e-7)
+        # machine loads
+        assert np.all(frac.x.sum(axis=1) <= frac.t + 1e-7)
+        # chain windows
+        for chain in frac.chains:
+            assert frac.d[chain].sum() <= frac.t + 1e-7
+        # windows dominate x
+        assert np.all(frac.x <= frac.d[None, :] + 1e-7)
+        assert np.all(frac.d >= 1 - 1e-9)
+
+    def test_t_at_least_longest_chain(self, small_chains_instance):
+        frac = solve_lp1(small_chains_instance)
+        longest = max(len(c) for c in frac.chains)
+        assert frac.t >= longest - 1e-7
+
+    def test_single_strong_machine(self):
+        # one machine with p=1 everywhere; LP should give t = n for one chain
+        inst = SUUInstance(
+            np.ones((1, 4)), PrecedenceDAG.from_chains([[0, 1, 2, 3]])
+        )
+        frac = solve_lp1(inst)
+        assert frac.t == pytest.approx(4.0, abs=1e-6)
+
+    def test_mass_target_scales(self, small_chains_instance):
+        f_half = solve_lp1(small_chains_instance, target_mass=0.5)
+        f_quarter = solve_lp1(small_chains_instance, target_mass=0.25)
+        assert f_quarter.t <= f_half.t + 1e-9
+
+    def test_zero_prob_pairs_have_no_vars(self, rng):
+        p = rng.uniform(0.2, 0.9, size=(3, 5))
+        p[0, :] = 0.0
+        p[0, 0] = 0.5
+        inst = SUUInstance(p)
+        frac = solve_lp1(inst, chains=[[j] for j in range(5)])
+        assert np.all(frac.x[0, 1:] == 0.0)
+
+
+class TestLP2:
+    def test_lp2_drops_chain_constraints(self, medium_independent):
+        frac = solve_lp2(medium_independent)
+        masses = (medium_independent.p * frac.x).sum(axis=0)
+        assert np.all(masses >= 0.5 - 1e-7)
+        assert np.all(frac.x.sum(axis=1) <= frac.t + 1e-7)
+
+    def test_lp2_no_smaller_than_trivial(self, medium_independent):
+        frac = solve_lp2(medium_independent)
+        # t >= total needed mass / total machine capacity per step
+        assert frac.t > 0
+
+    def test_lp2_leq_lp1(self, medium_independent):
+        # LP2 is a relaxation of LP1 with singleton chains
+        f2 = solve_lp2(medium_independent)
+        f1 = solve_lp1(
+            medium_independent, chains=[[j] for j in range(medium_independent.n)]
+        )
+        assert f2.t <= f1.t + 1e-6
+
+    def test_masses_attribute(self, medium_independent):
+        frac = solve_lp2(medium_independent)
+        np.testing.assert_allclose(
+            frac.masses, (medium_independent.p * frac.x).sum(axis=0)
+        )
+
+
+class TestLemma42Empirically:
+    def test_lp_bound_below_exact_optimum(self, rng):
+        """Lemma 4.2: T* <= 16 TOPT on random small chain instances."""
+        from repro.opt import optimal_expected_makespan
+
+        for trial in range(5):
+            p = rng.uniform(0.15, 0.95, size=(2, 5))
+            chains = [[0, 1, 2], [3, 4]]
+            inst = SUUInstance(p, PrecedenceDAG.from_chains(chains, 5))
+            t_star = solve_lp1(inst).t
+            t_opt = optimal_expected_makespan(inst)
+            assert t_star <= 16 * t_opt + 1e-6

@@ -1,0 +1,89 @@
+"""Tests for repro.lp.model — the LP wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LPError, ValidationError
+from repro.lp import LinearProgram, VariableIndexer
+
+
+class TestVariableIndexer:
+    def test_dense_indices(self):
+        idx = VariableIndexer()
+        assert idx.add("a") == 0
+        assert idx.add(("x", 1)) == 1
+        assert idx["a"] == 0
+        assert ("x", 1) in idx
+        assert len(idx) == 2
+
+    def test_duplicate_rejected(self):
+        idx = VariableIndexer()
+        idx.add("a")
+        with pytest.raises(ValidationError):
+            idx.add("a")
+
+
+class TestLinearProgram:
+    def test_simple_minimization(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=0.0, obj=1.0)
+        lp.add_ge({"x": 1.0}, 3.0)
+        sol = lp.solve()
+        assert sol.value == pytest.approx(3.0)
+        assert sol["x"] == pytest.approx(3.0)
+
+    def test_two_variable_lp(self):
+        # min x + y  s.t.  x + 2y >= 4,  3x + y >= 6
+        lp = LinearProgram()
+        lp.add_var("x", obj=1.0)
+        lp.add_var("y", obj=1.0)
+        lp.add_ge({"x": 1.0, "y": 2.0}, 4.0)
+        lp.add_ge({"x": 3.0, "y": 1.0}, 6.0)
+        sol = lp.solve()
+        assert sol.value == pytest.approx(2.8)  # x=1.6, y=1.2
+
+    def test_upper_bounds(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=0.0, ub=2.0, obj=-1.0)  # maximize x
+        sol = lp.solve()
+        assert sol["x"] == pytest.approx(2.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=0.0, ub=1.0)
+        lp.add_ge({"x": 1.0}, 5.0)
+        with pytest.raises(LPError):
+            lp.solve()
+
+    def test_unbounded_raises(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=0.0, obj=-1.0)
+        with pytest.raises(LPError):
+            lp.solve()
+
+    def test_empty_lp(self):
+        sol = LinearProgram().solve()
+        assert sol.value == 0.0
+
+    def test_zero_coefficients_dropped(self):
+        lp = LinearProgram()
+        lp.add_var("x", obj=1.0)
+        row = lp.add_le({"x": 0.0}, 1.0)
+        assert lp.num_rows == 1
+        lp.solve()
+
+    def test_row_names(self):
+        lp = LinearProgram()
+        lp.add_var("x")
+        lp.add_le({"x": 1.0}, 1.0, name="cap")
+        assert lp.row_names == ["cap"]
+
+    def test_check_feasible(self):
+        lp = LinearProgram()
+        lp.add_var("x", lb=0.0, ub=5.0)
+        lp.add_le({"x": 1.0}, 3.0)
+        assert lp.check_feasible(np.array([2.0]))
+        assert not lp.check_feasible(np.array([4.0]))
+        assert not lp.check_feasible(np.array([-1.0]))

@@ -1,0 +1,62 @@
+"""Tests for repro.opt.bruteforce."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import IDLE
+from repro.errors import ExactSolverLimitError
+from repro.opt import count_assignments, iter_assignments, max_sum_mass_opt
+
+
+class TestIterAssignments:
+    def test_count_matches_enumeration(self):
+        got = list(iter_assignments(2, [0, 1], allow_idle=True))
+        assert len(got) == count_assignments(2, 2, allow_idle=True) == 9
+
+    def test_no_idle(self):
+        got = list(iter_assignments(2, [0, 1], allow_idle=False))
+        assert len(got) == 4
+        assert all(IDLE not in a for a in got)
+
+    def test_empty_jobs_yields_idle(self):
+        got = list(iter_assignments(3, [], allow_idle=True))
+        assert len(got) == 1
+        assert np.all(got[0] == IDLE)
+
+    def test_deterministic_order(self):
+        a = [tuple(x) for x in iter_assignments(2, [0, 1])]
+        b = [tuple(x) for x in iter_assignments(2, [0, 1])]
+        assert a == b
+
+
+class TestMaxSumMassOpt:
+    def test_single_machine_picks_best(self):
+        p = np.array([[0.3, 0.8]])
+        val, a = max_sum_mass_opt(p)
+        assert val == pytest.approx(0.8)
+        assert a[0] == 1
+
+    def test_spreads_over_jobs(self):
+        # two machines, two jobs; each machine great at its own job
+        p = np.array([[0.9, 0.1], [0.1, 0.9]])
+        val, a = max_sum_mass_opt(p)
+        assert val == pytest.approx(1.8)
+        assert a.tolist() == [0, 1]
+
+    def test_capping_discourages_piling(self):
+        # both machines on job 0 would waste mass beyond the cap
+        p = np.array([[0.9, 0.5], [0.9, 0.05]])
+        val, a = max_sum_mass_opt(p)
+        assert val == pytest.approx(1.4)  # 0.9 + 0.5
+
+    def test_cap_applied(self):
+        p = np.array([[0.8], [0.8]])
+        val, _ = max_sum_mass_opt(p)
+        assert val == pytest.approx(1.0)
+
+    def test_guard(self):
+        p = np.full((10, 10), 0.5)
+        with pytest.raises(ExactSolverLimitError):
+            max_sum_mass_opt(p, max_enumeration=1000)

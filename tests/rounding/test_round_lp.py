@@ -1,0 +1,140 @@
+"""Tests for repro.rounding.round_lp — Theorem 4.1 certificates."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PrecedenceDAG, SUUInstance
+from repro.lp import solve_lp1, solve_lp2
+from repro.rounding import round_acc_mass
+from repro.workloads import probability_matrix
+
+
+def chains_of(n, size):
+    return [list(range(k, min(k + size, n))) for k in range(0, n, size)]
+
+
+def make_instance(n, m, seed, model="uniform", chain_size=4):
+    p = probability_matrix(m, n, model=model, rng=seed)
+    dag = PrecedenceDAG.from_chains(chains_of(n, chain_size), n)
+    return SUUInstance(p, dag)
+
+
+class TestCertificates:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("model", ["uniform", "sparse", "power_law"])
+    def test_rounding_certificate_random_instances(self, seed, model):
+        inst = make_instance(16, 5, seed, model=model)
+        frac = solve_lp1(inst)
+        integral = round_acc_mass(inst, frac)
+        cert = integral.check(inst)  # raises on violation
+        assert cert["min_mass"] >= 0.5 - 1e-9
+        assert cert["max_machine_load"] <= integral.t
+        assert cert["max_chain_window_sum"] <= integral.t
+
+    def test_blowup_bounded_by_clogm(self):
+        """Thm 4.1: t̂ = O(log m) · T*; assert with a generous constant."""
+        for seed in range(4):
+            inst = make_instance(20, 8, seed)
+            frac = solve_lp1(inst)
+            integral = round_acc_mass(inst, frac)
+            bound = 160 * max(1.0, math.log2(8 * inst.m))
+            assert integral.blowup <= bound
+
+    def test_integrality(self):
+        inst = make_instance(12, 4, 7)
+        integral = round_acc_mass(inst, solve_lp1(inst))
+        assert integral.x.dtype == np.int64
+        assert integral.d.dtype == np.int64
+        assert np.all(integral.x >= 0)
+        assert np.all(integral.d >= 1)
+
+    def test_ceil_case_when_t_large(self):
+        # one chain of all jobs forces t >= n -> the ceil case
+        n, m = 6, 3
+        p = probability_matrix(m, n, rng=1)
+        inst = SUUInstance(p, PrecedenceDAG.from_chains([list(range(n))], n))
+        frac = solve_lp1(inst)
+        assert frac.t >= n - 1e-6
+        integral = round_acc_mass(inst, frac)
+        assert integral.meta["case"] == "ceil"
+        integral.check(inst)
+
+    def test_flow_case_when_many_chains(self):
+        # many short chains and many machines keep t < n -> the flow case
+        inst = make_instance(24, 12, 3, chain_size=2)
+        frac = solve_lp1(inst)
+        assert frac.t < inst.n
+        integral = round_acc_mass(inst, frac)
+        assert integral.meta["case"] == "flow"
+        integral.check(inst)
+
+    def test_low_scale_tradeoff(self):
+        inst = make_instance(24, 12, 5, chain_size=2)
+        frac = solve_lp1(inst)
+        small = round_acc_mass(inst, frac, low_scale=4)
+        large = round_acc_mass(inst, frac, low_scale=32)
+        small.check(inst)
+        large.check(inst)
+        assert small.t <= large.t  # smaller scale => shorter schedule
+
+    def test_low_scale_validated(self):
+        inst = make_instance(8, 3, 0)
+        frac = solve_lp1(inst)
+        with pytest.raises(ValueError):
+            round_acc_mass(inst, frac, low_scale=1)
+
+
+class TestIndependentVariant:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lp2_rounding_certificates(self, seed):
+        p = probability_matrix(10, 25, rng=seed)
+        inst = SUUInstance(p)
+        frac = solve_lp2(inst)
+        integral = round_acc_mass(inst, frac, independent=True)
+        cert = integral.check(inst)
+        assert cert["min_mass"] >= 0.5 - 1e-9
+
+    def test_thm45_blowup_bound(self):
+        """Thm 4.5: blow-up O(log min(n,m)) with a generous constant."""
+        for seed in range(3):
+            p = probability_matrix(12, 30, rng=seed, model="sparse")
+            inst = SUUInstance(p)
+            frac = solve_lp2(inst)
+            integral = round_acc_mass(inst, frac, independent=True)
+            bound = 160 * max(1.0, math.log2(8 * min(inst.n, inst.m)))
+            assert integral.blowup <= bound
+
+
+class TestExtremeProbabilities:
+    def test_tiny_probabilities(self):
+        # all p near the 1/(8m) bucket floor: stresses the bucketing
+        rng = np.random.default_rng(9)
+        m, n = 6, 18
+        p = rng.uniform(1.0 / (8 * m), 4.0 / (8 * m), size=(m, n))
+        inst = SUUInstance(p, PrecedenceDAG.from_chains(chains_of(n, 2), n))
+        frac = solve_lp1(inst)
+        integral = round_acc_mass(inst, frac)
+        integral.check(inst)
+
+    def test_mixed_magnitudes(self):
+        # a few strong pairs, a sea of weak ones: exercises both branches
+        rng = np.random.default_rng(10)
+        m, n = 8, 20
+        p = rng.uniform(0.001, 0.02, size=(m, n))
+        strong = rng.integers(0, m, size=n)
+        p[strong, np.arange(n)] = rng.uniform(0.5, 0.9, size=n)
+        inst = SUUInstance(p, PrecedenceDAG.from_chains(chains_of(n, 5), n))
+        integral = round_acc_mass(inst, solve_lp1(inst))
+        integral.check(inst)
+
+    def test_deterministic_given_solution(self):
+        inst = make_instance(14, 5, 11)
+        frac = solve_lp1(inst)
+        a = round_acc_mass(inst, frac)
+        b = round_acc_mass(inst, frac)
+        np.testing.assert_array_equal(a.x, b.x)
+        assert a.t == b.t

@@ -1,0 +1,162 @@
+"""Tests for repro.sim.engine — single-execution semantics (Def 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptivePolicy,
+    CyclicSchedule,
+    ObliviousSchedule,
+    PrecedenceDAG,
+    SUUInstance,
+)
+from repro.errors import SimulationLimitError
+from repro.sim.engine import eligible_mask, simulate, simulate_or_raise
+
+
+def certain_instance(dag=None, n=3, m=2):
+    """All probabilities 1: executions are deterministic."""
+    return SUUInstance(np.ones((m, n)), dag)
+
+
+class TestEligibility:
+    def test_all_eligible_when_independent(self, tiny_independent):
+        finished = np.zeros(3, dtype=bool)
+        assert eligible_mask(tiny_independent, finished).all()
+
+    def test_chain_gating(self, tiny_chain):
+        finished = np.zeros(3, dtype=bool)
+        elig = eligible_mask(tiny_chain, finished)
+        assert elig.tolist() == [True, False, False]
+        finished[0] = True
+        elig = eligible_mask(tiny_chain, finished)
+        assert elig.tolist() == [True, True, False]
+
+    def test_multi_pred_gating(self):
+        dag = PrecedenceDAG(3, [(0, 2), (1, 2)])
+        inst = certain_instance(dag)
+        finished = np.array([True, False, False])
+        assert not eligible_mask(inst, finished)[2]
+        finished[1] = True
+        assert eligible_mask(inst, finished)[2]
+
+
+class TestDeterministicExecutions:
+    def test_certain_oblivious(self):
+        inst = certain_instance(n=2, m=2)
+        sched = ObliviousSchedule(np.array([[0, 1]]))
+        res = simulate(inst, sched, rng=0)
+        assert res.finished
+        assert res.makespan == 1
+        assert res.completion.tolist() == [1, 1]
+
+    def test_chain_needs_sequential_steps(self):
+        dag = PrecedenceDAG(3, [(0, 1), (1, 2)])
+        inst = certain_instance(dag, n=3, m=1)
+        sched = ObliviousSchedule(np.array([[0], [1], [2]]))
+        res = simulate(inst, sched, rng=0)
+        assert res.finished
+        assert res.completion.tolist() == [1, 2, 3]
+
+    def test_ineligible_assignment_idles(self):
+        # scheduling job 1 before its predecessor finished does nothing
+        dag = PrecedenceDAG(2, [(0, 1)])
+        inst = certain_instance(dag, n=2, m=1)
+        sched = ObliviousSchedule(np.array([[1], [0], [1]]))
+        res = simulate(inst, sched, rng=0, record_trace=True)
+        assert res.finished
+        assert res.completion.tolist() == [2, 3]
+        # step 0's effective assignment was idle
+        assert res.trace[0][0] == -1
+
+    def test_finished_job_not_reworked(self):
+        inst = certain_instance(n=2, m=1)
+        sched = ObliviousSchedule(np.array([[0], [0], [1]]))
+        res = simulate(inst, sched, rng=0, record_trace=True)
+        assert res.trace[1][0] == -1  # job 0 already done
+        assert res.finished
+
+    def test_oblivious_schedule_too_short(self):
+        inst = certain_instance(n=3, m=1)
+        sched = ObliviousSchedule(np.array([[0]]))
+        res = simulate(inst, sched, rng=0)
+        assert not res.finished
+        assert res.completion.tolist() == [1, 0, 0]
+
+    def test_max_steps_truncation(self):
+        inst = SUUInstance(np.full((1, 1), 0.5))
+        sched = CyclicSchedule(
+            ObliviousSchedule.empty(1), ObliviousSchedule(np.array([[0]]))
+        )
+        res = simulate(inst, sched, rng=1, max_steps=1)
+        assert res.steps_executed <= 1
+
+    def test_simulate_or_raise(self):
+        inst = certain_instance(n=2, m=1)
+        sched = ObliviousSchedule(np.array([[0]]))
+        with pytest.raises(SimulationLimitError):
+            simulate_or_raise(inst, sched, rng=0, max_steps=5)
+
+
+class TestMassesAndCompletion:
+    def test_mass_accrues_only_while_active(self):
+        inst = certain_instance(n=2, m=1)
+        sched = ObliviousSchedule(np.array([[0], [0], [1]]))
+        res = simulate(inst, sched, rng=0)
+        # job 0 finished at step 1 with p=1 => mass exactly 1.0
+        assert res.masses[0] == pytest.approx(1.0)
+
+    def test_masses_bounded_by_assignments(self, tiny_independent):
+        sched = ObliviousSchedule(np.array([[0, 1, 2], [0, 1, 2]]))
+        res = simulate(tiny_independent, sched, rng=3)
+        assert np.all(res.masses <= 2.0 + 1e-12)
+
+    def test_completion_times_positive_when_finished(self, tiny_independent):
+        sched = CyclicSchedule(
+            ObliviousSchedule.empty(3),
+            ObliviousSchedule(np.array([[0, 1, 2], [1, 2, 0], [2, 0, 1]])),
+        )
+        res = simulate(tiny_independent, sched, rng=5, max_steps=10_000)
+        assert res.finished
+        assert np.all(res.completion >= 1)
+        assert res.makespan == res.completion.max()
+
+
+class TestPolicies:
+    def test_adaptive_policy_runs(self, tiny_chain, rng):
+        def rule(inst, unfinished, eligible, t, rng_):
+            a = np.full(inst.m, -1, dtype=np.int32)
+            for i, j in enumerate(sorted(eligible)):
+                a[: inst.m] = j  # all machines on first eligible job
+                break
+            return a
+
+        policy = AdaptivePolicy(rule, name="gang")
+        res = simulate(tiny_chain, policy, rng=rng, max_steps=10_000)
+        assert res.finished
+        # chain executes in order
+        assert res.completion[0] <= res.completion[1] <= res.completion[2]
+
+    def test_regimen_execution(self, tiny_independent):
+        from repro.opt import optimal_regimen
+
+        sol = optimal_regimen(tiny_independent)
+        res = simulate(tiny_independent, sol.regimen, rng=7, max_steps=10_000)
+        assert res.finished
+
+    def test_unknown_schedule_type_rejected(self, tiny_independent):
+        from repro.errors import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            simulate(tiny_independent, object(), rng=0)
+
+    def test_seeded_determinism(self, tiny_independent):
+        sched = CyclicSchedule(
+            ObliviousSchedule.empty(3),
+            ObliviousSchedule(np.array([[0, 1, 2]])),
+        )
+        r1 = simulate(tiny_independent, sched, rng=42, max_steps=10_000)
+        r2 = simulate(tiny_independent, sched, rng=42, max_steps=10_000)
+        assert r1.completion.tolist() == r2.completion.tolist()

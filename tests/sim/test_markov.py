@@ -1,0 +1,186 @@
+"""Tests for repro.sim.markov — exact subset-lattice expectations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CyclicSchedule,
+    ObliviousSchedule,
+    PrecedenceDAG,
+    Regimen,
+    ScheduleError,
+    SUUInstance,
+)
+from repro.errors import ExactSolverLimitError
+from repro.sim.markov import (
+    eligible_bitmask,
+    expected_makespan_cyclic,
+    expected_makespan_regimen,
+    transition_distribution,
+)
+
+
+class TestEligibleBitmask:
+    def test_independent_all_eligible(self, tiny_independent):
+        assert eligible_bitmask(tiny_independent, 0b111) == 0b111
+
+    def test_chain(self, tiny_chain):
+        assert eligible_bitmask(tiny_chain, 0b111) == 0b001
+        assert eligible_bitmask(tiny_chain, 0b110) == 0b010
+        assert eligible_bitmask(tiny_chain, 0b100) == 0b100
+
+    def test_empty_state(self, tiny_chain):
+        assert eligible_bitmask(tiny_chain, 0) == 0
+
+
+class TestTransitionDistribution:
+    def test_probabilities_sum_to_one(self, tiny_independent):
+        a = np.array([0, 1, 2])
+        dist = transition_distribution(tiny_independent, 0b111, a)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_single_job_bernoulli(self):
+        inst = SUUInstance(np.array([[0.3]]))
+        dist = transition_distribution(inst, 0b1, np.array([0]))
+        assert dist[0b0] == pytest.approx(0.3)
+        assert dist[0b1] == pytest.approx(0.7)
+
+    def test_ineligible_jobs_do_not_transition(self, tiny_chain):
+        a = np.array([1, 1])  # both machines on ineligible job 1
+        dist = transition_distribution(tiny_chain, 0b111, a)
+        assert dist == {0b111: pytest.approx(1.0)}
+
+    def test_multiple_machines_aggregate(self):
+        inst = SUUInstance(np.array([[0.5], [0.5]]))
+        dist = transition_distribution(inst, 0b1, np.array([0, 0]))
+        assert dist[0b0] == pytest.approx(0.75)
+
+    def test_independent_product_structure(self, tiny_independent):
+        a = np.array([0, 1, -1])
+        dist = transition_distribution(tiny_independent, 0b011, a)
+        p0 = 0.9
+        p1 = 0.8
+        assert dist[0b00] == pytest.approx(p0 * p1)
+        assert dist[0b01] == pytest.approx((1 - p0) * p1)
+        assert dist[0b10] == pytest.approx(p0 * (1 - p1))
+        assert dist[0b11] == pytest.approx((1 - p0) * (1 - p1))
+
+
+class TestRegimenExpectation:
+    def test_single_job_geometric(self):
+        inst = SUUInstance(np.array([[0.25]]))
+        r = Regimen(1, 1, {0b1: np.array([0])})
+        assert expected_makespan_regimen(inst, r) == pytest.approx(4.0)
+
+    def test_two_parallel_certain(self):
+        inst = SUUInstance(np.ones((2, 2)))
+        r = Regimen(
+            2,
+            2,
+            {
+                0b11: np.array([0, 1]),
+                0b01: np.array([0, 0]),
+                0b10: np.array([1, 1]),
+            },
+        )
+        assert expected_makespan_regimen(inst, r) == pytest.approx(1.0)
+
+    def test_max_of_two_geometrics(self):
+        # two jobs, each its own machine with p; E[max of two Geom(p)]
+        p = 0.5
+        inst = SUUInstance(np.array([[p, 0.0], [0.0, p]]))
+        r = Regimen(
+            2,
+            2,
+            {
+                0b11: np.array([0, 1]),
+                0b01: np.array([0, 1]),
+                0b10: np.array([0, 1]),
+            },
+        )
+        # E[max] = 2/p - 1/(1-(1-p)^2)  (inclusion–exclusion of geometrics)
+        expected = 2 / p - 1 / (1 - (1 - p) ** 2)
+        assert expected_makespan_regimen(inst, r) == pytest.approx(expected)
+
+    def test_no_progress_raises(self):
+        inst = SUUInstance(np.array([[0.5, 0.0], [0.5, 0.8]]))
+        # regimen assigns machines to job 0 even in state {1} where only
+        # machine 1 can serve job 1 -> from state 0b10 nothing happens
+        r = Regimen(
+            2,
+            2,
+            {
+                0b11: np.array([0, 0]),
+                0b01: np.array([0, 0]),
+                0b10: np.array([0, 0]),
+            },
+        )
+        with pytest.raises(ScheduleError):
+            expected_makespan_regimen(inst, r)
+
+    def test_size_guard(self):
+        inst = SUUInstance(np.ones((1, 20)))
+        r = Regimen(20, 1, {})
+        with pytest.raises(ExactSolverLimitError):
+            expected_makespan_regimen(inst, r, max_states=1 << 10)
+
+
+class TestCyclicExpectation:
+    def test_single_job_every_step(self):
+        inst = SUUInstance(np.array([[0.25]]))
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(1), ObliviousSchedule(np.array([[0]]))
+        )
+        assert expected_makespan_cyclic(inst, cyc) == pytest.approx(4.0)
+
+    def test_job_served_every_other_step(self):
+        # cycle [job0, idle]: success prob p per 2 steps; E = sum over k of
+        # (2k+1) p (1-p)^k = (2/p) - 1
+        p = 0.5
+        inst = SUUInstance(np.array([[p]]))
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(1),
+            ObliviousSchedule(np.array([[0], [-1]])),
+        )
+        assert expected_makespan_cyclic(inst, cyc) == pytest.approx(2 / p - 1)
+
+    def test_prefix_used_once(self):
+        # prefix serves the job with p=1, so E = 1 regardless of the cycle
+        inst = SUUInstance(np.array([[1.0]]))
+        cyc = CyclicSchedule(
+            ObliviousSchedule(np.array([[0]])),
+            ObliviousSchedule(np.array([[-1]])),
+        )
+        assert expected_makespan_cyclic(inst, cyc) == pytest.approx(1.0)
+
+    def test_dead_cycle_raises(self):
+        inst = SUUInstance(np.array([[0.5]]))
+        cyc = CyclicSchedule(
+            ObliviousSchedule(np.array([[0]])),
+            ObliviousSchedule(np.array([[-1]])),  # idle forever after prefix
+        )
+        with pytest.raises(ScheduleError):
+            expected_makespan_cyclic(inst, cyc)
+
+    def test_chain_with_certain_probs(self):
+        dag = PrecedenceDAG(2, [(0, 1)])
+        inst = SUUInstance(np.ones((1, 2)), dag)
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(1),
+            ObliviousSchedule(np.array([[0], [1]])),
+        )
+        assert expected_makespan_cyclic(inst, cyc) == pytest.approx(2.0)
+
+    def test_matches_regimen_when_cycle_is_constant(self, tiny_independent):
+        # a constant cyclic schedule is the oblivious regimen
+        a = np.array([0, 1, 2])
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(3), ObliviousSchedule(a[None, :])
+        )
+        states = {s: a for s in range(1, 8)}
+        reg = Regimen(3, 3, states)
+        assert expected_makespan_cyclic(tiny_independent, cyc) == pytest.approx(
+            expected_makespan_regimen(tiny_independent, reg)
+        )

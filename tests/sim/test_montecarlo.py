@@ -1,0 +1,126 @@
+"""Tests for repro.sim.montecarlo — vectorized estimation correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CyclicSchedule, ObliviousSchedule, PrecedenceDAG, SUUInstance
+from repro.errors import SimulationLimitError
+from repro.sim import estimate_makespan, expected_makespan_cyclic
+from repro.sim.montecarlo import completion_curve
+
+
+def geometric_instance(p=0.5):
+    return SUUInstance(np.array([[p]]))
+
+
+def single_job_cycle(m=1):
+    return CyclicSchedule(
+        ObliviousSchedule.empty(m), ObliviousSchedule(np.zeros((1, m), dtype=np.int32))
+    )
+
+
+class TestAgainstClosedForms:
+    def test_geometric_mean(self):
+        # single job, single machine, p=0.5 => E[makespan] = 2
+        inst = geometric_instance(0.5)
+        est = estimate_makespan(inst, single_job_cycle(), reps=4000, rng=0)
+        assert est.mean == pytest.approx(2.0, abs=0.12)
+
+    def test_certain_completion(self):
+        inst = geometric_instance(1.0)
+        est = estimate_makespan(inst, single_job_cycle(), reps=50, rng=0)
+        assert est.mean == 1.0
+        assert est.std_err == 0.0
+
+    def test_matches_exact_markov(self, tiny_independent, rng):
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(3),
+            ObliviousSchedule(np.array([[0, 1, 2], [1, 2, 0]])),
+        )
+        exact = expected_makespan_cyclic(tiny_independent, cyc)
+        est = estimate_makespan(tiny_independent, cyc, reps=4000, rng=rng)
+        lo, hi = est.ci95
+        # widen the CI slightly: 95% interval fails 1 in 20 seeds otherwise
+        slack = 3 * est.std_err
+        assert lo - slack <= exact <= hi + slack
+
+    def test_matches_exact_markov_with_chain(self, tiny_chain, rng):
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(2),
+            ObliviousSchedule(np.array([[0, 1], [1, 2], [2, 0]])),
+        )
+        exact = expected_makespan_cyclic(tiny_chain, cyc)
+        est = estimate_makespan(tiny_chain, cyc, reps=4000, rng=rng)
+        assert est.mean == pytest.approx(exact, rel=0.08)
+
+
+class TestVectorizedVsScalarPath:
+    def test_adaptive_falls_back_to_scalar(self, tiny_independent, rng):
+        from repro.algorithms import suu_i_adaptive
+
+        policy = suu_i_adaptive(tiny_independent).schedule
+        est = estimate_makespan(tiny_independent, policy, reps=50, rng=rng, max_steps=5000)
+        assert est.truncated == 0
+        assert est.mean > 0
+
+    def test_precedence_respected_in_vectorized_path(self):
+        # chain 0 -> 1 with p = 1: schedule assigns both every step; job 1
+        # can only finish the step *after* job 0.
+        dag = PrecedenceDAG(2, [(0, 1)])
+        inst = SUUInstance(np.ones((2, 2)), dag)
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(2),
+            ObliviousSchedule(np.array([[0, 1]])),
+        )
+        est = estimate_makespan(inst, cyc, reps=50, rng=0)
+        assert est.mean == 2.0
+
+    def test_finite_oblivious_truncation_counted(self):
+        inst = geometric_instance(0.3)
+        sched = ObliviousSchedule(np.zeros((2, 1), dtype=np.int32))  # only 2 tries
+        est = estimate_makespan(inst, sched, reps=500, rng=1, max_steps=100)
+        assert est.truncated > 0
+
+    def test_require_finished_raises(self):
+        inst = geometric_instance(0.3)
+        sched = ObliviousSchedule(np.zeros((1, 1), dtype=np.int32))
+        with pytest.raises(SimulationLimitError):
+            estimate_makespan(
+                inst, sched, reps=200, rng=1, max_steps=100, require_finished=True
+            )
+
+    def test_keep_samples(self):
+        inst = geometric_instance(0.9)
+        est = estimate_makespan(inst, single_job_cycle(), reps=64, rng=2, keep_samples=True)
+        assert est.samples is not None and est.samples.shape == (64,)
+        assert est.min <= est.mean <= est.max
+
+    def test_reps_validated(self, tiny_independent):
+        with pytest.raises(ValueError):
+            estimate_makespan(tiny_independent, single_job_cycle(3), reps=0)
+
+    def test_seeded_determinism(self, tiny_independent):
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(3),
+            ObliviousSchedule(np.array([[0, 1, 2]])),
+        )
+        e1 = estimate_makespan(tiny_independent, cyc, reps=100, rng=9)
+        e2 = estimate_makespan(tiny_independent, cyc, reps=100, rng=9)
+        assert e1.mean == e2.mean
+
+
+class TestCompletionCurve:
+    def test_monotone_and_bounded(self):
+        inst = geometric_instance(0.6)
+        curve = completion_curve(inst, single_job_cycle(), reps=300, rng=3, max_steps=30)
+        assert curve.shape == (30,)
+        assert np.all(np.diff(curve) >= 0)
+        assert 0.0 <= curve[0] <= 1.0
+        assert curve[-1] > 0.9
+
+    def test_certain_instance_hits_one_immediately(self):
+        inst = geometric_instance(1.0)
+        curve = completion_curve(inst, single_job_cycle(), reps=50, rng=4, max_steps=5)
+        assert curve[0] == 1.0

@@ -1,0 +1,126 @@
+"""Tests for the suu command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "suu" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "inst.json"
+        assert main(["generate", str(out), "-n", "8", "-m", "3", "--seed", "1"]) == 0
+        data = json.loads(out.read_text())
+        assert len(data["p"]) == 3
+        assert len(data["p"][0]) == 8
+
+    def test_stdout(self, capsys):
+        assert main(["generate", "-", "-n", "4", "-m", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["dag"]["n"] == 4
+
+    def test_dag_kinds(self, tmp_path):
+        out = tmp_path / "t.json"
+        assert main(["generate", str(out), "-n", "9", "-m", "3", "--dag", "out_tree"]) == 0
+        data = json.loads(out.read_text())
+        assert len(data["dag"]["edges"]) == 8
+
+
+class TestInfoSolveSimulate:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        out = tmp_path / "inst.json"
+        main(["generate", str(out), "-n", "8", "-m", "3", "--dag", "chains", "--seed", "2"])
+        return out
+
+    def test_info(self, instance_file, capsys):
+        assert main(["info", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "dag class: chains" in out
+
+    def test_info_with_bounds(self, instance_file, capsys):
+        assert main(["info", str(instance_file), "--bounds"]) == 0
+        assert "LB[best]" in capsys.readouterr().out
+
+    def test_solve_prints_certificates(self, instance_file, capsys):
+        assert main(["solve", str(instance_file), "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm: solve_chains" in out
+        assert "min_mass" in out
+
+    def test_solve_saves_schedule(self, instance_file, tmp_path, capsys):
+        target = tmp_path / "sched.json"
+        assert main(["solve", str(instance_file), "--save", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["kind"] == "cyclic"
+
+    def test_simulate_table(self, instance_file, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(instance_file),
+                    "--reps",
+                    "20",
+                    "--method",
+                    "serial",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "E[makespan]" in out
+        assert "serial" in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--scenario", "independent", "--reps", "10", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+
+class TestGantt:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        out = tmp_path / "inst.json"
+        main(["generate", str(out), "-n", "6", "-m", "2", "--dag", "chains", "--seed", "3"])
+        return out
+
+    def test_gantt_fresh_solve(self, instance_file, capsys):
+        assert main(["gantt", str(instance_file), "--steps", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "m0" in out and "m1" in out
+        assert "algorithm: solve_chains" in out
+
+    def test_gantt_from_saved_schedule(self, instance_file, tmp_path, capsys):
+        sched = tmp_path / "sched.json"
+        main(["solve", str(instance_file), "--save", str(sched)])
+        capsys.readouterr()
+        assert main(["gantt", str(instance_file), "--schedule", str(sched)]) == 0
+        out = capsys.readouterr().out
+        assert "m0" in out
+        assert "algorithm" not in out  # no fresh solve happened
+
+    def test_gantt_adaptive_rejected(self, instance_file, capsys):
+        # adaptive methods have no fixed table
+        out = instance_file.parent / "ind.json"
+        main(["generate", str(out), "-n", "4", "-m", "2", "--seed", "1"])
+        capsys.readouterr()
+        assert main(["gantt", str(out), "--method", "adaptive"]) == 2

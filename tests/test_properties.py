@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Each property encodes a theorem-level fact the reproduction depends on:
+Prop 2.1, MSM's 1/3 guarantee, flow conservation/integrality, rounding
+certificates, decomposition validity, schedule-composition algebra.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ObliviousSchedule, PrecedenceDAG, SUUInstance
+from repro.algorithms.msm import msm_alg, msm_e_alg, msm_mass_of_assignment
+from repro.core.mass import (
+    assignment_success_prob,
+    cumulative_mass,
+    success_prob_product,
+)
+from repro.decomp import decompose_forest
+from repro.flow import FlowNetwork
+
+_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+pos_probs = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def prob_matrices(draw, max_m=5, max_n=5):
+    m = draw(st.integers(1, max_m))
+    n = draw(st.integers(1, max_n))
+    rows = draw(
+        st.lists(
+            st.lists(pos_probs, min_size=n, max_size=n), min_size=m, max_size=m
+        )
+    )
+    return np.asarray(rows)
+
+
+@st.composite
+def forest_dags(draw, max_n=24):
+    """Random forest DAGs via random parents and random edge orientation."""
+    n = draw(st.integers(1, max_n))
+    edges = []
+    for j in range(1, n):
+        parent = draw(st.integers(0, j - 1))
+        if draw(st.booleans()):
+            edges.append((parent, j))
+        else:
+            edges.append((j, parent))
+    return PrecedenceDAG(n, edges)
+
+
+class TestProposition21Property:
+    @given(st.lists(probs, min_size=1, max_size=8))
+    @_settings
+    def test_sandwich(self, xs):
+        arr = np.asarray(xs)
+        q = success_prob_product(arr)
+        s = float(arr.sum())
+        assert q <= s + 1e-9
+        if s <= 1.0:
+            assert q >= s / math.e - 1e-9
+
+    @given(st.lists(probs, min_size=1, max_size=8))
+    @_settings
+    def test_monotone_in_extra_machine(self, xs):
+        arr = np.asarray(xs)
+        assert success_prob_product(np.append(arr, 0.5)) >= success_prob_product(arr)
+
+
+class TestMSMProperty:
+    @given(prob_matrices(max_m=4, max_n=3))
+    @_settings
+    def test_one_third_of_bruteforce(self, p):
+        from repro.opt import max_sum_mass_opt
+
+        opt, _ = max_sum_mass_opt(p)
+        got = msm_mass_of_assignment(p, msm_alg(p))
+        assert got >= opt / 3 - 1e-9
+
+    @given(prob_matrices(), st.integers(1, 6))
+    @_settings
+    def test_msm_e_respects_capacities(self, p, t):
+        res = msm_e_alg(p, t)
+        assert np.all(res.x.sum(axis=1) <= t)
+        assert np.all(res.x >= 0)
+        assert res.schedule.length == t
+
+    @given(prob_matrices(), st.integers(1, 6))
+    @_settings
+    def test_msm_e_schedule_consistent_with_x(self, p, t):
+        res = msm_e_alg(p, t)
+        mass_from_schedule = cumulative_mass(p, res.schedule.table, cap=False)
+        np.testing.assert_allclose(mass_from_schedule, res.mass, atol=1e-9)
+
+
+class TestFlowProperty:
+    @given(
+        st.integers(3, 7),
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(0, 5)),
+            min_size=1,
+            max_size=14,
+        ),
+    )
+    @_settings
+    def test_conservation_integrality_mincut(self, num_nodes, raw_edges):
+        net = FlowNetwork(num_nodes)
+        for u, v, c in raw_edges:
+            u %= num_nodes
+            v %= num_nodes
+            if u != v:
+                net.add_edge(u, v, c)
+        value = net.max_flow(0, num_nodes - 1)
+        assert net.check_flow_conservation(0, num_nodes - 1)
+        side = net.min_cut_side(0)
+        cut = sum(e.capacity for e in net.edges if e.src in side and e.dst not in side)
+        assert cut == value
+
+
+class TestDecompositionProperty:
+    @given(forest_dags())
+    @_settings
+    def test_always_valid_and_bounded(self, dag):
+        from repro.decomp import lemma46_width_bound
+
+        deco = decompose_forest(dag)
+        deco.validate()
+        assert deco.width <= lemma46_width_bound(max(2, dag.n))
+
+
+class TestScheduleAlgebra:
+    @given(
+        st.integers(1, 4),
+        st.integers(0, 5),
+        st.integers(0, 5),
+        st.integers(1, 3),
+    )
+    @_settings
+    def test_concat_repeat_lengths(self, m, t1, t2, k):
+        rng = np.random.default_rng(0)
+        a = ObliviousSchedule(rng.integers(-1, m, size=(t1, m)).astype(np.int32))
+        b = ObliviousSchedule(rng.integers(-1, m, size=(t2, m)).astype(np.int32))
+        assert (a + b).length == t1 + t2
+        assert a.repeat(k).length == k * t1
+        assert a.replicate_steps(k).length == k * t1
+
+    @given(st.integers(1, 4), st.integers(1, 6), st.integers(1, 3))
+    @_settings
+    def test_replicate_multiplies_mass(self, m, t, sigma):
+        rng = np.random.default_rng(1)
+        n = m
+        p = rng.uniform(0.1, 0.9, size=(m, n))
+        inst = SUUInstance(p)
+        table = rng.integers(-1, n, size=(t, m)).astype(np.int32)
+        sched = ObliviousSchedule(table)
+        base = sched.masses(inst, cap=False)
+        repl = sched.replicate_steps(sigma).masses(inst, cap=False)
+        np.testing.assert_allclose(repl, base * sigma, atol=1e-9)
+
+
+class TestSuccessProbVsMass:
+    @given(prob_matrices(max_m=5, max_n=4))
+    @_settings
+    def test_assignment_success_never_exceeds_mass(self, p):
+        rng = np.random.default_rng(2)
+        m, n = p.shape
+        a = rng.integers(-1, n, size=m).astype(np.int32)
+        q = assignment_success_prob(p, a)
+        from repro.core.mass import assignment_mass
+
+        mass = assignment_mass(p, a)
+        assert np.all(q <= mass + 1e-9)
+        assert np.all(q >= 0) and np.all(q <= 1)

@@ -1,0 +1,64 @@
+"""Tests for the paper-motivated scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DagClass
+from repro.workloads import grid_computing, project_management
+
+
+class TestGridComputing:
+    def test_structure(self):
+        inst = grid_computing(num_workflows=3, stages=3, fanout=2, machines=5, rng=0)
+        # 3 trees of 1 + 2 + 4 = 7 nodes
+        assert inst.n == 21
+        assert inst.m == 5
+        assert inst.classify() == DagClass.OUT_FOREST
+        assert len(inst.dag.sources()) == 3
+
+    def test_fanout_one_gives_chains(self):
+        inst = grid_computing(num_workflows=2, stages=4, fanout=1, machines=3, rng=1)
+        assert inst.classify() == DagClass.CHAINS
+
+    def test_probabilities_heterogeneous(self):
+        inst = grid_computing(rng=2)
+        # distinct machines should have visibly different success rates
+        means = inst.p.mean(axis=1)
+        assert means.std() > 0.01
+
+    def test_deterministic(self):
+        a = grid_computing(rng=5)
+        b = grid_computing(rng=5)
+        assert a == b
+
+    def test_rejects_bad_params(self):
+        from repro import ValidationError
+
+        with pytest.raises(ValidationError):
+            grid_computing(num_workflows=0)
+
+
+class TestProjectManagement:
+    def test_structure(self):
+        inst = project_management(workstreams=4, tasks_per_stream=3, workers=5, rng=0)
+        assert inst.n == 12
+        assert inst.m == 5
+        assert inst.classify() == DagClass.CHAINS
+        assert len(inst.dag.chains()) == 4
+
+    def test_specialists_exist(self):
+        inst = project_management(rng=1)
+        # each worker has a block of high-probability tasks
+        assert np.any(inst.p > 0.4)
+        assert np.any(inst.p < 0.2)
+
+    def test_deterministic(self):
+        assert project_management(rng=9) == project_management(rng=9)
+
+    def test_rejects_bad_params(self):
+        from repro import ValidationError
+
+        with pytest.raises(ValidationError):
+            project_management(workers=0)

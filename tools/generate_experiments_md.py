@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md from benchmarks/results/*.json.
+
+Run the benchmark suite first::
+
+    pytest benchmarks/ --benchmark-only
+    python tools/generate_experiments_md.py
+
+Each experiment's JSON (written by the ``recorder`` fixture) contributes a
+section with its reproduction claims and measured rows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+RESULTS = ROOT / "benchmarks" / "results"
+OUT = ROOT / "EXPERIMENTS.md"
+
+# Paper artifact + claim description per experiment, mirroring DESIGN.md §3.
+META: dict[str, tuple[str, str]] = {
+    "e01_prop21": (
+        "Proposition 2.1",
+        "success probability is sandwiched: S/e ≤ 1−Π(1−x_i) ≤ S for S ≤ 1",
+    ),
+    "e02_mass_accumulation": (
+        "Theorem 2.2",
+        "any schedule gives every job mass ≥ 1/4 within 2·E[makespan] steps "
+        "with probability ≥ 1/4 (evaluated exactly on the execution tree)",
+    ),
+    "e03_msm_ratio": (
+        "Theorem 3.2 (Figure 2)",
+        "MSM-ALG ≥ OPT/3 on every instance (OPT by brute force)",
+    ),
+    "e04_msm_ext": (
+        "Lemma 3.4 (Algorithm 1)",
+        "MSM-E-ALG ≥ OPT_t/3 for every length t; running time independent of t",
+    ),
+    "e05_adaptive_ratio": (
+        "Theorem 3.3",
+        "SUU-I-ALG ratio grows O(log n): sub-polynomial slope over an n-sweep",
+    ),
+    "e06_oblivious_ratio": (
+        "Theorem 3.6 (Algorithm 2)",
+        "SUU-I-OBL oblivious ratio is polylog; adaptive never worse; rounds "
+        "within the 66·log n-style budget",
+    ),
+    "e07_lp2_rounding": (
+        "Theorem 4.5",
+        "LP2 rounding blow-up within O(log min(n,m)); sublinear in m",
+    ),
+    "e08_lemma42": (
+        "Lemma 4.2",
+        "T* ≤ 16·T^OPT on every instance with computable optimum",
+    ),
+    "e09_rounding_blowup": (
+        "Theorem 4.1 (Figure 3)",
+        "rounding certificates all hold; t̂/T* within an O(log m) envelope",
+    ),
+    "e10_chains": (
+        "Theorem 4.4",
+        "chains pipeline ratio grows polylogarithmically; beats the serial "
+        "baseline on wide instances with lean constants",
+    ),
+    "e11_delay_collisions": (
+        "§4.1 random delays (SSW [27])",
+        "post-delay congestion ≤ α·log(n+m)/loglog(n+m); derandomized "
+        "comparable",
+    ),
+    "e12_decomposition_width": (
+        "Lemma 4.6 ([17])",
+        "chain-decomposition width ≤ 2(⌈log n⌉+1) on every generated forest",
+    ),
+    "e13_trees_forests": (
+        "Theorems 4.7 / 4.8",
+        "tree & forest pipelines polylog; Thm 4.8 no worse than Thm 4.7 on "
+        "trees",
+    ),
+    "e14_markov_figure1": (
+        "Figure 1",
+        "Markov chain, execution tree, and Monte Carlo agree on the same "
+        "expected makespans",
+    ),
+    "a1_constants": (
+        "ablation",
+        "paper constants vs practical vs lean: same mechanisms, large "
+        "constant-factor gap",
+    ),
+    "a2_delay_ablation": (
+        "ablation",
+        "randomized vs derandomized delays; Theorem 4.1 low-scale sweep",
+    ),
+    "a3_adaptivity_gap": (
+        "ablation",
+        "the oblivious/adaptive gap across failure regimes",
+    ),
+    "a4_robustness": (
+        "ablation",
+        "schedules built from nominal p executed in perturbed worlds: "
+        "monotone degradation; the oblivious schedule's replication slack "
+        "absorbs estimation error (relative), while adaptive stays better "
+        "in absolute terms",
+    ),
+    "x1_layered": (
+        "§5 extension (beyond the paper)",
+        "general DAGs by antichain depth-layering: sound, beats serial when "
+        "shallow, ratio scales with depth as the guarantee predicts",
+    ),
+}
+
+
+def _md_table(rows: list[dict]) -> str:
+    if not rows:
+        return "_no rows recorded_"
+    # union of keys, preserving first-row order then extras
+    cols: list[str] = []
+    for row in rows:
+        for k in row:
+            if k not in cols:
+                cols.append(k)
+    lines = ["| " + " | ".join(cols) + " |", "|" + "|".join("---" for _ in cols) + "|"]
+    for row in rows:
+        cells = []
+        for c in cols:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                cells.append(f"{v:.4g}")
+            else:
+                cells.append(str(v))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    sections: list[str] = []
+    ok_total = 0
+    claim_total = 0
+    for exp_id, (artifact, description) in META.items():
+        path = RESULTS / f"{exp_id}.json"
+        header = f"## {exp_id.upper()} — {artifact}"
+        if not path.exists():
+            sections.append(
+                f"{header}\n\n_{description}_\n\n**Status: not yet run** "
+                f"(`pytest benchmarks/bench_{exp_id}.py --benchmark-only`)\n"
+            )
+            continue
+        data = json.loads(path.read_text())
+        claims = data.get("claims", {})
+        claim_total += len(claims)
+        ok_total += sum(claims.values())
+        claim_lines = "\n".join(
+            f"- {'✅' if ok else '❌'} `{name}`" for name, ok in claims.items()
+        )
+        sections.append(
+            f"{header}\n\n_{description}_\n\n**Claims**\n\n{claim_lines}\n\n"
+            f"**Measured rows**\n\n{_md_table(data.get('rows', []))}\n"
+        )
+    preamble = (
+        "# EXPERIMENTS — paper vs. measured\n\n"
+        "The paper (SPAA 2007) is a theory paper with no experimental "
+        "section; its evaluation is a set of theorems.  Per DESIGN.md §3, "
+        "each theorem/lemma/figure is reproduced as an experiment: the "
+        "benchmark regenerates the measured rows below and asserts the "
+        "*claim* that makes it a reproduction (the inequality or growth "
+        "shape the paper proves).  Absolute makespans depend on our "
+        "simulator and constants presets; the claims are the "
+        "paper-equivalent content.\n\n"
+        "Regenerate with `pytest benchmarks/ --benchmark-only && python "
+        "tools/generate_experiments_md.py`.\n\n"
+        f"**Claim scoreboard: {ok_total}/{claim_total} claims hold.**\n\n"
+    )
+    OUT.write_text(preamble + "\n".join(sections))
+    print(f"wrote {OUT} ({ok_total}/{claim_total} claims hold)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
