@@ -4,45 +4,31 @@ Sweep the probability scale from reliable to flaky machines and measure
 the oblivious/adaptive expected-makespan ratio for independent jobs.  The
 theory predicts obliviousness costs more when failures are common (the
 oblivious schedule pre-pays with replication; the adaptive one re-plans).
+
+The sweep is declared once as the ``adaptivity_gap`` experiment suite
+(:mod:`repro.experiments.suites`) and executed through the cached runner,
+so the adaptive policies run on the batched lockstep engine and re-runs
+only recompute specs whose parameters changed.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import SUUInstance
-from repro.algorithms import PRACTICAL, suu_i_adaptive, suu_i_lp, suu_i_oblivious
 from repro.analysis import Table
-from repro.sim import estimate_makespan
+from repro.experiments import get_suite, run_suite
+from repro.experiments.suites import A3_REGIMES
 
 
-REGIMES = [
-    ("reliable", 0.6, 0.95),
-    ("mixed", 0.2, 0.8),
-    ("flaky", 0.05, 0.3),
-    ("very flaky", 0.02, 0.1),
-]
-
-
-def _sweep(rng):
+def _sweep(cache_dir):
+    results = run_suite(get_suite("adaptivity_gap"), cache_dir=cache_dir)
+    by_name = {res.spec.name: res for res in results}
     rows = []
-    n, m = 16, 6
-    for name, lo, hi in REGIMES:
-        gen = np.random.default_rng(abs(hash(name)) % 2**32)
-        p = gen.uniform(lo, hi, size=(m, n))
-        inst = SUUInstance(p, name=name)
-        ada = estimate_makespan(
-            inst, suu_i_adaptive(inst).schedule, reps=80, rng=rng, max_steps=300_000
-        ).mean
-        obl = estimate_makespan(
-            inst, suu_i_oblivious(inst, PRACTICAL).schedule, reps=80, rng=rng, max_steps=300_000
-        ).mean
-        lp = estimate_makespan(
-            inst, suu_i_lp(inst, PRACTICAL).schedule, reps=80, rng=rng, max_steps=300_000
-        ).mean
+    for regime, _lo, _hi, _seed in A3_REGIMES:
+        ada = by_name[f"a3-{regime}-adaptive"].mean
+        obl = by_name[f"a3-{regime}-oblivious"].mean
+        lp = by_name[f"a3-{regime}-lp"].mean
         rows.append(
             {
-                "regime": name,
+                "regime": regime,
                 "adaptive": ada,
                 "oblivious_comb": obl,
                 "oblivious_lp": lp,
@@ -53,8 +39,10 @@ def _sweep(rng):
     return rows
 
 
-def test_a3_adaptivity_gap(benchmark, recorder, rng):
-    rows = benchmark.pedantic(_sweep, args=(rng,), rounds=1, iterations=1)
+def test_a3_adaptivity_gap(benchmark, recorder, experiment_cache_dir):
+    rows = benchmark.pedantic(
+        _sweep, args=(experiment_cache_dir,), rounds=1, iterations=1
+    )
     table = Table(
         ["regime", "adaptive", "SUU-I-OBL", "LP route", "gap(OBL)", "gap(LP)"],
         title="A3  adaptivity gap across failure regimes (n=16, m=6)",

@@ -20,7 +20,6 @@ from repro.algorithms import round_robin_baseline, serial_baseline
 from repro.analysis import Table
 from repro.opt import optimal_regimen
 from repro.sim import build_execution_tree, expected_makespan_cyclic
-from repro.sim.markov import expected_makespan_regimen
 
 
 def _cases(rng):

@@ -8,31 +8,26 @@ Reference: the certified lower bound for every n (a *consistent* yardstick
 across the sweep — mixing exact and lower-bound references would fabricate
 slope), anchored by the throughput bound n/ρ which scales linearly like
 T^OPT itself.
+
+The sweep is declared as the ``adaptive_ratio`` experiment suite and runs
+through the cached runner on the batched adaptive engine.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import SUUInstance
-from repro.algorithms import round_robin_baseline, suu_i_adaptive
-from repro.analysis import Table, fit_log_growth, loglog_slope, reference_makespan
-from repro.sim import estimate_makespan
-from repro.workloads import probability_matrix
+from repro.analysis import Table, fit_log_growth, loglog_slope
+from repro.experiments import get_suite, run_suite
+from repro.experiments.suites import E05_SEEDS, E05_SIZES
 
 
-def _sweep(rng):
+def _sweep(cache_dir):
+    results = run_suite(get_suite("adaptive_ratio"), cache_dir=cache_dir)
+    by_name = {res.spec.name: res for res in results}
     rows = []
-    for n in (8, 16, 32, 64, 128):
-        ratios = []
-        for seed in range(3):
-            p = probability_matrix(6, n, rng=np.random.default_rng(1000 + seed), model="uniform")
-            inst = SUUInstance(p, name=f"n{n}s{seed}")
-            ref, kind = reference_makespan(inst, exact_limit=0)
-            est = estimate_makespan(
-                inst, suu_i_adaptive(inst).schedule, reps=80, rng=rng, max_steps=50_000
-            )
-            ratios.append(est.mean / ref)
+    for n in E05_SIZES:
+        ratios = [by_name[f"e05-n{n}-s{seed}"].ratio for seed in E05_SEEDS]
         rows.append(
             {
                 "n": n,
@@ -41,24 +36,17 @@ def _sweep(rng):
                 "reference": "lower_bound",
             }
         )
-    return rows
+    comp = {
+        "ours": by_name["e05-specialist-adaptive"].ratio,
+        "round_robin": by_name["e05-specialist-round_robin"].ratio,
+    }
+    return rows, comp
 
 
-def _baseline_row(rng):
-    p = probability_matrix(6, 24, rng=np.random.default_rng(77), model="specialist")
-    inst = SUUInstance(p)
-    ref, _ = reference_makespan(inst, exact_limit=0)
-    ours = estimate_makespan(
-        inst, suu_i_adaptive(inst).schedule, reps=100, rng=rng, max_steps=50_000
-    ).mean
-    rr = estimate_makespan(
-        inst, round_robin_baseline(inst).schedule, reps=100, rng=rng, max_steps=50_000
-    ).mean
-    return {"ours": ours / ref, "round_robin": rr / ref}
-
-
-def test_e05_suu_i_alg_log_growth(benchmark, recorder, rng):
-    rows = benchmark.pedantic(_sweep, args=(rng,), rounds=1, iterations=1)
+def test_e05_suu_i_alg_log_growth(benchmark, recorder, experiment_cache_dir):
+    rows, comp = benchmark.pedantic(
+        _sweep, args=(experiment_cache_dir,), rounds=1, iterations=1
+    )
     table = Table(
         ["n", "mean ratio", "max ratio", "reference"],
         title="E5  SUU-I-ALG ratio vs n (Thm 3.3: O(log n))",
@@ -73,7 +61,6 @@ def test_e05_suu_i_alg_log_growth(benchmark, recorder, rng):
     print("\n" + table.render())
     print(f"\nlog-log slope: {slope:.3f} (polynomial growth would be ~1)")
     print(f"fit ratio ≈ {a:.3f}·log2(n) + {b:.3f}")
-    comp = _baseline_row(rng)
     print(
         f"specialist instance: ours {comp['ours']:.2f}x vs "
         f"round-robin {comp['round_robin']:.2f}x LB"

@@ -4,51 +4,45 @@ Claims: (a) the oblivious ratio grows sub-polynomially; (b) adaptivity is
 never worse — SUU-I-ALG ≤ SUU-I-OBL on every instance (the price of
 obliviousness is nonnegative); (c) Algorithm 2's inner loop terminates far
 below the 66·log n round budget.
+
+The sweep is declared as the ``oblivious_ratio`` experiment suite and runs
+through the cached runner; the round counts come from the schedule
+certificates the runner persists alongside each estimate.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import SUUInstance
-from repro.algorithms import PRACTICAL, suu_i_adaptive, suu_i_oblivious
-from repro.analysis import Table, loglog_slope, reference_makespan
-from repro.sim import estimate_makespan
-from repro.workloads import probability_matrix
+from repro.algorithms import PRACTICAL
+from repro.analysis import Table, loglog_slope
+from repro.experiments import get_suite, run_suite
+from repro.experiments.suites import E06_SEEDS, E06_SIZES
 
 
-def _sweep(rng):
+def _sweep(cache_dir):
+    results = run_suite(get_suite("oblivious_ratio"), cache_dir=cache_dir)
+    by_name = {res.spec.name: res for res in results}
     rows = []
-    for n in (8, 16, 32, 64):
-        obl_ratios, ada_ratios, rounds = [], [], []
-        for seed in range(3):
-            p = probability_matrix(5, n, rng=np.random.default_rng(2000 + seed))
-            inst = SUUInstance(p, name=f"n{n}s{seed}")
-            ref, kind = reference_makespan(inst, exact_limit=0)
-            result = suu_i_oblivious(inst, PRACTICAL)
-            est_o = estimate_makespan(
-                inst, result.schedule, reps=100, rng=rng, max_steps=100_000
-            )
-            est_a = estimate_makespan(
-                inst, suu_i_adaptive(inst).schedule, reps=100, rng=rng, max_steps=50_000
-            )
-            obl_ratios.append(est_o.mean / ref)
-            ada_ratios.append(est_a.mean / ref)
-            rounds.append(result.certificates["rounds"])
+    for n in E06_SIZES:
+        obl = [by_name[f"e06-n{n}-s{seed}-oblivious"] for seed in E06_SEEDS]
+        ada = [by_name[f"e06-n{n}-s{seed}-adaptive"] for seed in E06_SEEDS]
         rows.append(
             {
                 "n": n,
-                "oblivious_ratio": float(np.mean(obl_ratios)),
-                "adaptive_ratio": float(np.mean(ada_ratios)),
-                "rounds_used": float(np.mean(rounds)),
+                "oblivious_ratio": float(np.mean([r.ratio for r in obl])),
+                "adaptive_ratio": float(np.mean([r.ratio for r in ada])),
+                "rounds_used": float(np.mean([r.certificates["rounds"] for r in obl])),
                 "round_budget": PRACTICAL.obl_round_limit(n),
             }
         )
     return rows
 
 
-def test_e06_suu_i_obl(benchmark, recorder, rng):
-    rows = benchmark.pedantic(_sweep, args=(rng,), rounds=1, iterations=1)
+def test_e06_suu_i_obl(benchmark, recorder, experiment_cache_dir):
+    rows = benchmark.pedantic(
+        _sweep, args=(experiment_cache_dir,), rounds=1, iterations=1
+    )
     table = Table(
         ["n", "oblivious ratio", "adaptive ratio", "rounds used", "round budget"],
         title="E6  SUU-I-OBL vs SUU-I-ALG (Thm 3.6 vs Thm 3.3)",

@@ -12,6 +12,8 @@ sweeps, not microbenchmarks, so wall-clock is reported for one full sweep.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -73,3 +75,20 @@ def recorder(request):
 @pytest.fixture
 def rng():
     return np.random.default_rng(20070611)  # SPAA'07: June 9-11, 2007
+
+
+@pytest.fixture
+def experiment_cache_dir():
+    """Shared on-disk cache for benches refactored onto the experiment runner.
+
+    Persists across runs on purpose: re-running a sweep recomputes only
+    specs whose parameters changed.  The cache key covers spec parameters
+    and the package version, NOT algorithm source — after editing algorithm
+    code, run with ``REPRO_BENCH_COLD=1`` (clears this cache first) or
+    delete ``benchmarks/results/cache`` so the claims re-measure.
+    """
+    path = RESULTS_DIR / "cache"
+    if os.environ.get("REPRO_BENCH_COLD"):
+        shutil.rmtree(path, ignore_errors=True)
+    path.mkdir(parents=True, exist_ok=True)
+    return path

@@ -51,6 +51,7 @@ from .sim import (
     expected_makespan_cyclic,
     expected_makespan_regimen,
     simulate,
+    simulate_batch,
 )
 
 __version__ = "1.0.0"
@@ -88,10 +89,14 @@ __all__ = [
     "expected_makespan_cyclic",
     "expected_makespan_regimen",
     "simulate",
-    # algorithms (re-exported lazily below)
+    "simulate_batch",
+    # algorithms / experiments (re-exported lazily below)
     "solve",
     "PAPER",
     "PRACTICAL",
+    "ExperimentSpec",
+    "run_experiment",
+    "run_suite",
 ]
 
 
@@ -106,4 +111,8 @@ def __getattr__(name: str):
         from .algorithms import constants
 
         return getattr(constants, name)
+    if name in ("ExperimentSpec", "run_experiment", "run_suite"):
+        from . import experiments
+
+        return getattr(experiments, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -91,7 +91,7 @@ def greedy_prob_policy(instance: SUUInstance) -> ScheduleResult:
         return a
 
     return ScheduleResult(
-        schedule=AdaptivePolicy(rule, name="greedy-prob"),
+        schedule=AdaptivePolicy(rule, name="greedy-prob", stationary=True, randomized=False),
         algorithm="greedy_prob_policy",
     )
 
@@ -108,7 +108,7 @@ def random_policy(instance: SUUInstance) -> ScheduleResult:
         return a
 
     return ScheduleResult(
-        schedule=AdaptivePolicy(rule, name="random"),
+        schedule=AdaptivePolicy(rule, name="random", stationary=True, randomized=True),
         algorithm="random_policy",
     )
 
@@ -135,7 +135,7 @@ def msm_eligible_policy(instance: SUUInstance) -> ScheduleResult:
         return msm_alg(p, jobs=sorted(eligible))
 
     return ScheduleResult(
-        schedule=AdaptivePolicy(rule, name="msm-eligible"),
+        schedule=AdaptivePolicy(rule, name="msm-eligible", stationary=True, randomized=False),
         algorithm="msm_eligible_policy",
     )
 

@@ -24,11 +24,10 @@ Every stage's invariant is checked and recorded in the result certificates.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 
-from .._util import as_rng, log2p
+from .._util import as_rng
 from ..core.instance import SUUInstance
 from ..core.schedule import (
     ChainBand,

@@ -19,9 +19,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
-from .._util import log2p
 from ..core.instance import SUUInstance
 from ..core.schedule import (
     AdaptivePolicy,
@@ -63,7 +60,7 @@ def suu_i_adaptive(instance: SUUInstance) -> ScheduleResult:
     def rule(inst, unfinished, eligible, t, rng):
         return msm_alg(p, jobs=sorted(unfinished))
 
-    policy = AdaptivePolicy(rule, name="suu-i-alg")
+    policy = AdaptivePolicy(rule, name="suu-i-alg", stationary=True, randomized=False)
     return ScheduleResult(
         schedule=policy,
         algorithm="suu_i_adaptive",

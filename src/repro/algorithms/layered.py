@@ -18,8 +18,6 @@ open.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .._util import as_rng
 from ..core.instance import SUUInstance
 from ..core.schedule import ObliviousSchedule, ScheduleResult

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.instance import SUUInstance
 from ..core.schedule import IDLE, ObliviousSchedule
 
 __all__ = ["msm_alg", "MSMExtendedResult", "msm_e_alg"]

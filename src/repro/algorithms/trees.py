@@ -18,8 +18,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from .._util import as_rng, log2p
 from ..core.dag import DagClass
 from ..core.instance import SUUInstance

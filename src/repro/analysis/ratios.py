@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from .._util import as_rng
 from ..bounds.lower import lower_bounds
 from ..core.instance import SUUInstance

@@ -27,8 +27,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.dag import DagClass
 from ..core.instance import SUUInstance
 from ..lp.acc_mass import solve_lp1

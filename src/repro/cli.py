@@ -2,12 +2,13 @@
 
 Subcommands
 -----------
-``generate``  write a random instance to JSON
-``info``      structural summary of an instance file
-``solve``     schedule an instance, print certificates, optionally save
-``simulate``  Monte-Carlo makespan estimate for an instance (+ baselines)
-``gantt``     render a schedule (or a fresh solve) as an ASCII Gantt chart
-``demo``      end-to-end demonstration on a built-in scenario
+``generate``         write a random instance to JSON
+``info``             structural summary of an instance file
+``solve``            schedule an instance, print certificates, optionally save
+``simulate``         Monte-Carlo makespan estimate for an instance (+ baselines)
+``gantt``            render a schedule (or a fresh solve) as an ASCII Gantt chart
+``demo``             end-to-end demonstration on a built-in scenario
+``run-experiments``  run a named experiment suite through the cached runner
 """
 
 from __future__ import annotations
@@ -24,7 +25,6 @@ from .algorithms import LEAN, PAPER, PRACTICAL, all_baselines, solve
 from .analysis import Table, compare_algorithms
 from .bounds import lower_bounds
 from .core import SUUInstance
-from .sim import estimate_makespan
 from .workloads import grid_computing, project_management, random_instance
 
 __all__ = ["main", "build_parser"]
@@ -90,6 +90,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     d.add_argument("--seed", type=int, default=0)
     d.add_argument("--reps", type=int, default=100)
+
+    e = sub.add_parser(
+        "run-experiments",
+        help="run an experiment suite through the cached runner",
+    )
+    e.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        help="suite name (repeatable; see --list-suites); default: smoke",
+    )
+    e.add_argument(
+        "--smoke", action="store_true", help="shorthand for --suite smoke"
+    )
+    e.add_argument("--list-suites", action="store_true", help="list suites and exit")
+    e.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result cache directory (default: .repro_cache/experiments)",
+    )
+    e.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    e.add_argument(
+        "--force", action="store_true", help="recompute even when cached"
+    )
+    e.add_argument("--json", type=Path, help="also write all results to this JSON file")
     return parser
 
 
@@ -213,6 +239,66 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_run_experiments(args) -> int:
+    from .errors import ExperimentError
+    from .experiments import (
+        DEFAULT_CACHE_DIR,
+        get_suite,
+        run_suite,
+        suite_names,
+    )
+
+    if args.list_suites:
+        for name in suite_names():
+            print(name)
+        return 0
+    names = list(args.suite or [])
+    if args.smoke and "smoke" not in names:
+        names.insert(0, "smoke")
+    if not names:
+        names = ["smoke"]
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    all_results = []
+    for suite in names:
+        try:
+            specs = get_suite(suite)
+        except ExperimentError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        table = Table(
+            ["experiment", "algorithm", "E[makespan]", "±se", "ratio", "engine", "cache"],
+            title=f"suite: {suite} ({len(specs)} experiments)",
+        )
+
+        def stream(spec, res):
+            status = "cache hit" if res.cache_hit else f"{res.elapsed_s:.2f}s"
+            print(f"  [{suite}] {spec.name}: {status}", file=sys.stderr, flush=True)
+
+        results = run_suite(
+            specs, cache_dir=cache_dir, force=args.force, progress=stream
+        )
+        for res in results:
+            table.add_row(
+                [
+                    res.spec.name,
+                    res.algorithm,
+                    res.mean,
+                    res.std_err,
+                    res.ratio if res.ratio is not None else "-",
+                    res.engine_used,
+                    "hit" if res.cache_hit else f"{res.elapsed_s:.2f}s",
+                ]
+            )
+        print(table.render())
+        all_results.extend(results)
+    if args.json:
+        args.json.write_text(
+            json.dumps([res.to_dict() for res in all_results], indent=2)
+        )
+        print(f"wrote {len(all_results)} results to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -222,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "gantt": _cmd_gantt,
         "demo": _cmd_demo,
+        "run-experiments": _cmd_run_experiments,
     }
     return handlers[args.command](args)
 

@@ -27,7 +27,7 @@ eligible, the machine idles for the step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
@@ -363,6 +363,30 @@ class AdaptivePolicy:
     unfinished and eligible jobs (as frozensets of job ids).  The rule may
     use ``rng`` for randomized policies; deterministic rules simply ignore
     it.
+
+    Two flags describe the rule to the batched simulation engine
+    (:mod:`repro.sim.batch`), which advances many replications in lockstep
+    and queries the rule only once per distinct *frontier state* (the set
+    of completed jobs):
+
+    ``stationary``
+        The assignment depends only on the unfinished set, not on the step
+        number ``t`` (true for every policy in the paper: Def 2.1 policies
+        are regimens presented implicitly).  Stationary rules are memoized
+        across steps; non-stationary rules are memoized per ``(state, t)``
+        pair, which is still correct but hits the cache less often.
+    ``randomized``
+        The rule consumes ``rng``.  Randomized policies cannot share one
+        query among replications in the same state without correlating
+        them, so the estimator routes them through the scalar engine
+        (:func:`repro.sim.engine.simulate`) instead.
+
+    The defaults are the *conservative* pair (``stationary=False``,
+    ``randomized=True``): a policy constructed without flags runs on the
+    always-correct scalar engine, exactly as before the batched engine
+    existed.  Declare ``stationary=True, randomized=False`` on rules that
+    are deterministic functions of the unfinished set — as every built-in
+    policy does — to unlock the batched fast path.
     """
 
     rule: Callable[
@@ -370,6 +394,8 @@ class AdaptivePolicy:
         np.ndarray,
     ]
     name: str = "adaptive"
+    stationary: bool = False
+    randomized: bool = True
 
     def assignment_for(
         self,
@@ -381,6 +407,16 @@ class AdaptivePolicy:
     ) -> np.ndarray:
         a = self.rule(instance, unfinished, eligible, t, rng)
         return validate_assignment(a, instance.n, instance.m)
+
+    def frontier_key(self, state_token: "Hashable", t: int) -> "Hashable":
+        """Memoization key for a batch query in frontier state ``state_token``.
+
+        ``state_token`` is any hashable token identifying the completed-job
+        set (the batch engine uses the packed bits of the completion row).
+        Stationary policies fold all steps with the same frontier into one
+        key; non-stationary policies key on the step as well.
+        """
+        return state_token if self.stationary else (state_token, t)
 
     def __repr__(self) -> str:
         return f"AdaptivePolicy({self.name!r})"
@@ -434,7 +470,9 @@ class Regimen:
                 state |= 1 << j
             return self.assignment_for_state(state)
 
-        return AdaptivePolicy(rule, name="regimen")
+        # A regimen is a deterministic function of the unfinished set by
+        # definition (Def 2.2), so the batched engine may memoize it.
+        return AdaptivePolicy(rule, name="regimen", stationary=True, randomized=False)
 
     def __repr__(self) -> str:
         return f"Regimen(n={self._n}, m={self._m}, states={len(self._assignments)})"

@@ -45,3 +45,16 @@ class UnsupportedDagError(ReproError):
 
 class SimulationLimitError(ReproError):
     """A simulation exceeded its step budget without completing."""
+
+
+class ExperimentError(ReproError):
+    """An experiment spec is malformed or references an unknown registry key."""
+
+
+class CensoredEstimateWarning(UserWarning):
+    """A Monte Carlo estimate includes replications censored at the step budget.
+
+    The reported mean is then only a lower bound on the true expectation.
+    Emitted by :func:`repro.sim.montecarlo.estimate_makespan`; silence it
+    only after deciding the bias is acceptable for the use at hand.
+    """

@@ -1,0 +1,208 @@
+"""Name registries backing declarative experiment specs.
+
+An :class:`~repro.experiments.spec.ExperimentSpec` names its instance
+generator and algorithm as strings so that specs serialize, hash stably for
+the on-disk result cache, and round-trip through JSON.  This module owns
+the two registries and their built-in entries:
+
+* **generators** — ``fn(rng, **params) -> SUUInstance``;
+* **algorithms** — ``fn(instance, rng, **params) -> ScheduleResult``.
+
+Both are open for extension (the scenario-diversity hook: new uncertainty
+models or workload families register here and immediately work with the
+runner, the CLI, and the cached benchmarks)::
+
+    from repro.experiments import register_generator
+
+    @register_generator("budgeted")
+    def budgeted(rng, n=16, m=6, gamma=3):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..algorithms import (
+    LEAN,
+    PAPER,
+    PRACTICAL,
+    SUUConstants,
+    exact_baseline,
+    greedy_prob_policy,
+    msm_eligible_policy,
+    random_policy,
+    round_robin_baseline,
+    serial_baseline,
+    solve,
+    suu_i_adaptive,
+    suu_i_lp,
+    suu_i_oblivious,
+)
+from ..core.instance import SUUInstance
+from ..core.schedule import ScheduleResult
+from ..errors import ExperimentError
+from ..workloads import (
+    greedy_trap,
+    grid_computing,
+    project_management,
+    random_instance,
+)
+
+__all__ = [
+    "GENERATORS",
+    "ALGORITHMS",
+    "register_generator",
+    "register_algorithm",
+    "resolve_generator",
+    "resolve_algorithm",
+    "resolve_constants",
+]
+
+GENERATORS: dict[str, Callable[..., SUUInstance]] = {}
+ALGORITHMS: dict[str, Callable[..., ScheduleResult]] = {}
+
+_CONSTANTS = {"paper": PAPER, "practical": PRACTICAL, "lean": LEAN}
+
+
+def resolve_constants(value) -> SUUConstants:
+    """Map a preset name (``paper``/``practical``/``lean``) to constants.
+
+    Specs carry the preset *name* so they stay JSON-serializable; an
+    :class:`SUUConstants` instance is passed through unchanged for direct
+    (non-spec) callers.
+    """
+    if isinstance(value, SUUConstants):
+        return value
+    try:
+        return _CONSTANTS[value]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown constants preset {value!r}; expected one of "
+            f"{sorted(_CONSTANTS)}"
+        ) from None
+
+
+def register_generator(name: str):
+    """Decorator registering ``fn(rng, **params) -> SUUInstance`` under ``name``."""
+
+    def deco(fn):
+        if name in GENERATORS:
+            raise ExperimentError(f"generator {name!r} is already registered")
+        GENERATORS[name] = fn
+        return fn
+
+    return deco
+
+
+def register_algorithm(name: str):
+    """Decorator registering ``fn(instance, rng, **params) -> ScheduleResult``."""
+
+    def deco(fn):
+        if name in ALGORITHMS:
+            raise ExperimentError(f"algorithm {name!r} is already registered")
+        ALGORITHMS[name] = fn
+        return fn
+
+    return deco
+
+
+def resolve_generator(name: str) -> Callable[..., SUUInstance]:
+    try:
+        return GENERATORS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown generator {name!r}; registered: {sorted(GENERATORS)}"
+        ) from None
+
+
+def resolve_algorithm(name: str) -> Callable[..., ScheduleResult]:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown algorithm {name!r}; registered: {sorted(ALGORITHMS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Built-in generators
+# ----------------------------------------------------------------------
+@register_generator("random")
+def _gen_random(rng, n=16, m=6, dag_kind="independent", prob_model="uniform", **kw):
+    return random_instance(n, m, dag_kind=dag_kind, prob_model=prob_model, rng=rng, **kw)
+
+
+@register_generator("grid")
+def _gen_grid(rng, **kw):
+    return grid_computing(rng=rng, **kw)
+
+
+@register_generator("project")
+def _gen_project(rng, **kw):
+    return project_management(rng=rng, **kw)
+
+
+@register_generator("greedy_trap")
+def _gen_greedy_trap(rng, n=12, m=4, **kw):
+    # The trap family is deterministic by construction; rng is unused.
+    return greedy_trap(n, m, **kw)
+
+
+# ----------------------------------------------------------------------
+# Built-in algorithms
+# ----------------------------------------------------------------------
+@register_algorithm("solve")
+def _alg_solve(instance, rng, constants="practical", method="auto", allow_fallback=False):
+    return solve(
+        instance,
+        constants=resolve_constants(constants),
+        rng=rng,
+        method=method,
+        allow_fallback=allow_fallback,
+    )
+
+
+@register_algorithm("adaptive")
+def _alg_adaptive(instance, rng):
+    return suu_i_adaptive(instance)
+
+
+@register_algorithm("oblivious")
+def _alg_oblivious(instance, rng, constants="practical"):
+    return suu_i_oblivious(instance, resolve_constants(constants))
+
+
+@register_algorithm("lp")
+def _alg_lp(instance, rng, constants="practical"):
+    return suu_i_lp(instance, resolve_constants(constants))
+
+
+@register_algorithm("serial")
+def _alg_serial(instance, rng):
+    return serial_baseline(instance)
+
+
+@register_algorithm("round_robin")
+def _alg_round_robin(instance, rng):
+    return round_robin_baseline(instance)
+
+
+@register_algorithm("greedy")
+def _alg_greedy(instance, rng):
+    return greedy_prob_policy(instance)
+
+
+@register_algorithm("random_policy")
+def _alg_random_policy(instance, rng):
+    return random_policy(instance)
+
+
+@register_algorithm("msm_eligible")
+def _alg_msm_eligible(instance, rng):
+    return msm_eligible_policy(instance)
+
+
+@register_algorithm("exact")
+def _alg_exact(instance, rng, max_states=1 << 14):
+    return exact_baseline(instance, max_states=max_states)

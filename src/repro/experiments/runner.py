@@ -1,0 +1,198 @@
+"""The experiment runner: execute specs, cache results on disk.
+
+One :class:`ExperimentResult` per spec.  Results are cached as JSON files
+keyed by ``ExperimentSpec.spec_hash()`` + ``sim`` seed-relevant fields (the
+hash covers everything that affects the numbers), so re-running a benchmark
+sweep or a CLI suite recomputes only what changed.  The cache is a plain
+directory of self-describing JSON files — inspectable, diffable, and safe
+to delete wholesale.
+
+``docs/architecture.md`` documents how the runner, the registries, and the
+simulation engines fit together.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.ratios import reference_makespan
+from ..sim.montecarlo import estimate_makespan
+from .spec import ExperimentSpec
+
+__all__ = ["ExperimentResult", "run_experiment", "run_suite", "DEFAULT_CACHE_DIR"]
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path(".repro_cache") / "experiments"
+
+
+def _jsonable(v):
+    """Best-effort conversion of certificate/meta values to JSON types."""
+    if isinstance(v, (bool, int, float, str)) or v is None:
+        return v
+    if isinstance(v, np.integer):
+        return int(v)
+    if isinstance(v, np.floating):
+        return float(v)
+    if isinstance(v, np.ndarray):
+        return v.tolist()
+    if isinstance(v, dict):
+        return {str(k): _jsonable(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
+    return repr(v)
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of one spec (plus provenance for the cache)."""
+
+    spec: ExperimentSpec
+    algorithm: str
+    mean: float
+    std_err: float
+    min: float
+    max: float
+    truncated: int
+    reference: float | None = None
+    reference_kind: str | None = None
+    ratio: float | None = None
+    engine_used: str = "auto"
+    certificates: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        half = 1.96 * self.std_err
+        return (self.mean - half, self.mean + half)
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec.spec_hash(),
+            "algorithm": self.algorithm,
+            "mean": self.mean,
+            "std_err": self.std_err,
+            "min": self.min,
+            "max": self.max,
+            "truncated": self.truncated,
+            "reference": self.reference,
+            "reference_kind": self.reference_kind,
+            "ratio": self.ratio,
+            "engine_used": self.engine_used,
+            "certificates": self.certificates,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, cache_hit: bool = False) -> "ExperimentResult":
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            algorithm=data["algorithm"],
+            mean=data["mean"],
+            std_err=data["std_err"],
+            min=data["min"],
+            max=data["max"],
+            truncated=data["truncated"],
+            reference=data.get("reference"),
+            reference_kind=data.get("reference_kind"),
+            ratio=data.get("ratio"),
+            engine_used=data.get("engine_used", "auto"),
+            certificates=data.get("certificates", {}),
+            elapsed_s=data.get("elapsed_s", 0.0),
+            cache_hit=cache_hit,
+        )
+
+
+def _cache_path(cache_dir: Path, spec: ExperimentSpec) -> Path:
+    # Keyed on the hash alone so renaming a spec (name is excluded from the
+    # hash) still finds its cached result; the name lives inside the JSON.
+    return cache_dir / f"{spec.spec_hash()}.json"
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    cache_dir: Path | str | None = DEFAULT_CACHE_DIR,
+    force: bool = False,
+) -> ExperimentResult:
+    """Execute one spec, consulting/updating the on-disk cache.
+
+    ``cache_dir=None`` disables caching entirely; ``force=True`` recomputes
+    and overwrites any cached entry.  Entries are files named
+    ``<spec_hash>.json``; entries that fail to parse are treated as misses
+    (and rewritten), never as errors.
+    """
+    path = None
+    if cache_dir is not None:
+        path = _cache_path(Path(cache_dir), spec)
+        if path.exists() and not force:
+            try:
+                return ExperimentResult.from_dict(
+                    json.loads(path.read_text()), cache_hit=True
+                )
+            except (json.JSONDecodeError, KeyError, TypeError):
+                pass  # stale/corrupt entry: fall through and recompute
+
+    t0 = time.perf_counter()
+    instance = spec.build_instance()
+    result = spec.build_schedule(instance)
+    est = estimate_makespan(
+        instance,
+        result.schedule,
+        reps=spec.reps,
+        rng=np.random.default_rng(spec.sim_seed),
+        max_steps=spec.max_steps,
+        engine=spec.engine,
+    )
+    reference = reference_kind = ratio = None
+    if spec.compute_reference:
+        reference, reference_kind = reference_makespan(
+            instance, exact_limit=spec.exact_limit
+        )
+        ratio = est.mean / max(reference, 1e-12)
+    out = ExperimentResult(
+        spec=spec,
+        algorithm=result.algorithm,
+        mean=est.mean,
+        std_err=est.std_err,
+        min=est.min,
+        max=est.max,
+        truncated=est.truncated,
+        reference=reference,
+        reference_kind=reference_kind,
+        ratio=ratio,
+        engine_used=est.engine_used,
+        certificates={k: _jsonable(v) for k, v in result.certificates.items()},
+        elapsed_s=time.perf_counter() - t0,
+        cache_hit=False,
+    )
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(out.to_dict(), indent=2))
+    return out
+
+
+def run_suite(
+    specs: Sequence[ExperimentSpec],
+    cache_dir: Path | str | None = DEFAULT_CACHE_DIR,
+    force: bool = False,
+    progress: Callable[[ExperimentSpec, ExperimentResult], None] | None = None,
+) -> list[ExperimentResult]:
+    """Run every spec in order, returning one result per spec.
+
+    ``progress`` (if given) is called after each experiment — the CLI uses
+    it to stream rows as they complete.
+    """
+    results = []
+    for spec in specs:
+        res = run_experiment(spec, cache_dir=cache_dir, force=force)
+        if progress is not None:
+            progress(spec, res)
+        results.append(res)
+    return results

@@ -1,0 +1,118 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is a pure-data description of one measurement:
+*instance generator × algorithm × estimator parameters*, all named through
+the registries in :mod:`repro.experiments.registry` so the spec is JSON
+round-trippable.  The spec's canonical-JSON hash keys the on-disk result
+cache — two specs that describe the same computation hash identically
+regardless of field order or the human-facing ``name`` label.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..core.instance import SUUInstance
+from ..core.schedule import ScheduleResult
+from ..errors import ExperimentError
+from .registry import resolve_algorithm, resolve_generator
+
+__all__ = ["ExperimentSpec", "SPEC_VERSION"]
+
+#: Bump to invalidate every cached result when estimation semantics change.
+SPEC_VERSION = 1
+
+
+@dataclass
+class ExperimentSpec:
+    """One experiment: build an instance, schedule it, estimate the makespan.
+
+    Attributes
+    ----------
+    name:
+        Human-facing label (table rows, cache-file names).  Excluded from
+        the cache hash: renaming an experiment does not invalidate its
+        cached result.
+    generator / generator_params / instance_seed:
+        Registry key, keyword arguments, and RNG seed for the instance.
+    algorithm / algorithm_params:
+        Registry key and keyword arguments for the scheduling algorithm
+        (e.g. ``{"constants": "paper"}``).
+    reps / max_steps / sim_seed / engine:
+        Monte Carlo estimator parameters, passed to
+        :func:`repro.sim.estimate_makespan`.
+    compute_reference / exact_limit:
+        When true, also compute the ratio denominator via
+        :func:`repro.analysis.reference_makespan` (exact DP below
+        ``exact_limit`` jobs, certified lower bound above).
+    """
+
+    name: str
+    generator: str = "random"
+    generator_params: dict = field(default_factory=dict)
+    instance_seed: int = 0
+    algorithm: str = "solve"
+    algorithm_params: dict = field(default_factory=dict)
+    reps: int = 200
+    max_steps: int = 200_000
+    sim_seed: int = 0
+    engine: str = "auto"
+    compute_reference: bool = False
+    exact_limit: int = 10
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        return cls(**data)
+
+    def spec_hash(self) -> str:
+        """Stable 16-hex-digit digest of everything that affects the result.
+
+        Salted with :data:`SPEC_VERSION` and the package version, so cached
+        results are invalidated both when estimation semantics change and
+        across releases.  Within one release, code edits to algorithms do
+        NOT change the hash — benchmarks and CLI users must clear the cache
+        (or pass ``force=True`` / set ``REPRO_BENCH_COLD=1``) to re-measure
+        after changing algorithm code.
+        """
+        from .. import __version__
+
+        payload = self.to_dict()
+        payload.pop("name")
+        payload["__version__"] = SPEC_VERSION
+        payload["__package_version__"] = __version__
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    # -- execution -------------------------------------------------------
+    def build_instance(self) -> SUUInstance:
+        gen = resolve_generator(self.generator)
+        rng = np.random.default_rng(self.instance_seed)
+        instance = gen(rng, **self.generator_params)
+        if not isinstance(instance, SUUInstance):
+            raise ExperimentError(
+                f"generator {self.generator!r} returned "
+                f"{type(instance).__name__}, expected SUUInstance"
+            )
+        return instance
+
+    def build_schedule(self, instance: SUUInstance) -> ScheduleResult:
+        alg = resolve_algorithm(self.algorithm)
+        # The solver gets its own deterministic stream, decoupled from the
+        # simulation stream so reps/sim_seed changes never alter the
+        # schedule under test.
+        rng = np.random.default_rng((self.instance_seed, 0xA16))
+        result = alg(instance, rng, **self.algorithm_params)
+        if not isinstance(result, ScheduleResult):
+            raise ExperimentError(
+                f"algorithm {self.algorithm!r} returned "
+                f"{type(result).__name__}, expected ScheduleResult"
+            )
+        return result

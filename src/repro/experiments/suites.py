@@ -1,0 +1,223 @@
+"""Built-in experiment suites.
+
+A *suite* is a named, deterministic list of :class:`ExperimentSpec`s.  The
+benchmark files under ``benchmarks/`` and the CLI subcommand
+``python -m repro run-experiments`` share these definitions, so a sweep run
+from either entry point hits the same result cache.
+
+Register project-specific suites with :func:`register_suite` — together
+with the generator/algorithm registries this is the extension point for
+new scenario families (see ``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from .spec import ExperimentSpec
+
+__all__ = ["SUITES", "register_suite", "get_suite", "suite_names"]
+
+SUITES: dict[str, Callable[[], list[ExperimentSpec]]] = {}
+
+
+def register_suite(name: str):
+    """Decorator registering a zero-argument suite builder under ``name``."""
+
+    def deco(fn):
+        if name in SUITES:
+            raise ExperimentError(f"suite {name!r} is already registered")
+        SUITES[name] = fn
+        return fn
+
+    return deco
+
+
+def get_suite(name: str) -> list[ExperimentSpec]:
+    try:
+        builder = SUITES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown suite {name!r}; available: {sorted(SUITES)}"
+        ) from None
+    return builder()
+
+
+def suite_names() -> list[str]:
+    return sorted(SUITES)
+
+
+# ----------------------------------------------------------------------
+# Smoke: one spec per simulation engine, small enough for CI.
+# ----------------------------------------------------------------------
+@register_suite("smoke")
+def _smoke() -> list[ExperimentSpec]:
+    base = dict(
+        generator="random",
+        generator_params={"n": 8, "m": 3, "dag_kind": "independent"},
+        instance_seed=7,
+        reps=40,
+        max_steps=50_000,
+    )
+    return [
+        # batched engine (deterministic adaptive policy) + reference ratio
+        ExperimentSpec(
+            name="smoke-adaptive",
+            algorithm="adaptive",
+            compute_reference=True,
+            exact_limit=0,
+            **base,
+        ),
+        # oblivious lockstep engine
+        ExperimentSpec(name="smoke-lp", algorithm="lp", **base),
+        # scalar engine (randomized policy)
+        ExperimentSpec(name="smoke-random-policy", algorithm="random_policy", **base),
+    ]
+
+
+# ----------------------------------------------------------------------
+# A3: the adaptivity gap across failure regimes (bench_a3_adaptivity_gap).
+# ----------------------------------------------------------------------
+#: (regime name, p-range low, p-range high, instance seed)
+A3_REGIMES: list[tuple[str, float, float, int]] = [
+    ("reliable", 0.6, 0.95, 101),
+    ("mixed", 0.2, 0.8, 102),
+    ("flaky", 0.05, 0.3, 103),
+    ("very_flaky", 0.02, 0.1, 104),
+]
+
+A3_ALGORITHMS = ("adaptive", "oblivious", "lp")
+
+
+@register_suite("adaptivity_gap")
+def _adaptivity_gap() -> list[ExperimentSpec]:
+    specs = []
+    for regime, lo, hi, seed in A3_REGIMES:
+        for alg in A3_ALGORITHMS:
+            specs.append(
+                ExperimentSpec(
+                    name=f"a3-{regime}-{alg}",
+                    generator="random",
+                    generator_params={
+                        "n": 16,
+                        "m": 6,
+                        "dag_kind": "independent",
+                        "prob_model": "uniform",
+                        "lo": lo,
+                        "hi": hi,
+                    },
+                    instance_seed=seed,
+                    algorithm=alg,
+                    reps=80,
+                    max_steps=300_000,
+                )
+            )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# E5: SUU-I-ALG ratio growth in n (bench_e05_adaptive_ratio).
+# ----------------------------------------------------------------------
+E05_SIZES = (8, 16, 32, 64, 128)
+E05_SEEDS = (0, 1, 2)
+
+
+@register_suite("adaptive_ratio")
+def _adaptive_ratio() -> list[ExperimentSpec]:
+    specs = [
+        ExperimentSpec(
+            name=f"e05-n{n}-s{seed}",
+            generator="random",
+            generator_params={"n": n, "m": 6, "dag_kind": "independent"},
+            instance_seed=1000 + seed,
+            algorithm="adaptive",
+            reps=80,
+            max_steps=50_000,
+            compute_reference=True,
+            exact_limit=0,
+        )
+        for n in E05_SIZES
+        for seed in E05_SEEDS
+    ]
+    for alg in ("adaptive", "round_robin"):
+        specs.append(
+            ExperimentSpec(
+                name=f"e05-specialist-{alg}",
+                generator="random",
+                generator_params={
+                    "n": 24,
+                    "m": 6,
+                    "dag_kind": "independent",
+                    "prob_model": "specialist",
+                },
+                instance_seed=77,
+                algorithm=alg,
+                reps=100,
+                max_steps=50_000,
+                compute_reference=True,
+                exact_limit=0,
+            )
+        )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# E6: SUU-I-OBL vs SUU-I-ALG ratio growth (bench_e06_oblivious_ratio).
+# ----------------------------------------------------------------------
+E06_SIZES = (8, 16, 32, 64)
+E06_SEEDS = (0, 1, 2)
+
+
+@register_suite("oblivious_ratio")
+def _oblivious_ratio() -> list[ExperimentSpec]:
+    specs = []
+    for n in E06_SIZES:
+        for seed in E06_SEEDS:
+            common = dict(
+                generator="random",
+                generator_params={"n": n, "m": 5, "dag_kind": "independent"},
+                instance_seed=2000 + seed,
+                reps=100,
+                compute_reference=True,
+                exact_limit=0,
+            )
+            specs.append(
+                ExperimentSpec(
+                    name=f"e06-n{n}-s{seed}-oblivious",
+                    algorithm="oblivious",
+                    max_steps=100_000,
+                    **common,
+                )
+            )
+            specs.append(
+                ExperimentSpec(
+                    name=f"e06-n{n}-s{seed}-adaptive",
+                    algorithm="adaptive",
+                    max_steps=50_000,
+                    **common,
+                )
+            )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Scenarios: the two paper-motivated applications, end to end.
+# ----------------------------------------------------------------------
+@register_suite("scenarios")
+def _scenarios() -> list[ExperimentSpec]:
+    specs = []
+    for scenario in ("grid", "project"):
+        for alg in ("solve", "serial", "greedy"):
+            specs.append(
+                ExperimentSpec(
+                    name=f"{scenario}-{alg}",
+                    generator=scenario,
+                    instance_seed=11,
+                    algorithm=alg,
+                    reps=100,
+                    max_steps=200_000,
+                    compute_reference=True,
+                )
+            )
+    return specs

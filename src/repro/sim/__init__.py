@@ -1,5 +1,15 @@
-"""Stochastic simulation and exact analysis of SUU schedules."""
+"""Stochastic simulation and exact analysis of SUU schedules.
 
+Three execution engines share one set of semantics (Def 2.1); see
+``docs/architecture.md`` for the decision tree:
+
+* :mod:`.engine` — scalar reference engine, one replication at a time;
+* :mod:`.montecarlo` — lockstep numpy path for oblivious/cyclic schedules;
+* :mod:`.batch` — lockstep path for adaptive policies with frontier-state
+  memoization.
+"""
+
+from .batch import BatchExecutionResult, batchable, simulate_batch
 from .engine import DEFAULT_MAX_STEPS, ExecutionResult, eligible_mask, simulate, simulate_or_raise
 from .exec_tree import ExecutionTree, build_execution_tree
 from .markov import (
@@ -13,6 +23,9 @@ from .markov import (
 from .montecarlo import MakespanEstimate, completion_curve, estimate_makespan
 
 __all__ = [
+    "BatchExecutionResult",
+    "batchable",
+    "simulate_batch",
     "DEFAULT_MAX_STEPS",
     "ExecutionResult",
     "eligible_mask",

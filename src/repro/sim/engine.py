@@ -6,8 +6,12 @@ machines whose named job is finished or not yet eligible idle for the step
 probability ``1 - prod(1 - p_ij)`` independently across jobs and steps.
 
 This module is the scalar (single-replication) engine that works for every
-schedule type, including adaptive policies.  The vectorized multi-replication
-fast path for oblivious schedules lives in :mod:`repro.sim.montecarlo`.
+schedule type, including adaptive policies.  Two vectorized multi-replication
+fast paths exist: the lockstep path for oblivious schedules in
+:mod:`repro.sim.montecarlo` and the frontier-memoized batched path for
+adaptive policies in :mod:`repro.sim.batch`.  ``docs/architecture.md``
+documents the decision tree that picks between the three; the scalar engine
+remains the reference implementation the fast paths are tested against.
 """
 
 from __future__ import annotations
@@ -27,7 +31,14 @@ from ..core.schedule import (
 )
 from ..errors import ScheduleError, SimulationLimitError
 
-__all__ = ["ExecutionResult", "simulate", "eligible_mask", "DEFAULT_MAX_STEPS"]
+__all__ = [
+    "ExecutionResult",
+    "simulate",
+    "eligible_mask",
+    "assignment_for_step",
+    "effective_assignment",
+    "DEFAULT_MAX_STEPS",
+]
 
 #: Step budget before :func:`simulate` gives up (override per call).
 DEFAULT_MAX_STEPS = 1_000_000
@@ -73,6 +84,8 @@ def eligible_mask(instance: SUUInstance, finished: np.ndarray) -> np.ndarray:
     """
     dag = instance.dag
     elig = np.ones(instance.n, dtype=bool)
+    if not dag.num_edges:
+        return elig
     for j in range(instance.n):
         for pred in dag.predecessors(j):
             if not finished[pred]:
@@ -81,13 +94,21 @@ def eligible_mask(instance: SUUInstance, finished: np.ndarray) -> np.ndarray:
     return elig
 
 
-def _assignment_for_step(
+def assignment_for_step(
     instance: SUUInstance,
     schedule,
     t: int,
     finished: np.ndarray,
     rng: np.random.Generator,
 ) -> np.ndarray:
+    """The raw step-``t`` assignment of ``schedule`` in state ``finished``.
+
+    Shared by the scalar engine and the batched engine
+    (:mod:`repro.sim.batch`) so the two agree on query semantics exactly.
+    The returned assignment is *raw*: machines may still name finished or
+    ineligible jobs; apply :func:`effective_assignment` before drawing
+    completions.
+    """
     if isinstance(schedule, ObliviousSchedule):
         return schedule.assignment_at(t)
     if isinstance(schedule, CyclicSchedule):
@@ -103,6 +124,27 @@ def _assignment_for_step(
         eligible = frozenset(int(j) for j in np.flatnonzero(elig & ~finished))
         return schedule.assignment_for(instance, unfinished, eligible, t, rng)
     raise ScheduleError(f"cannot execute schedule of type {type(schedule).__name__}")
+
+
+def effective_assignment(
+    instance: SUUInstance,
+    assignment: np.ndarray,
+    finished: np.ndarray,
+    elig: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply the Def 2.1 idling rule: machines on finished or not-yet-eligible
+    jobs idle for the step.  Returns a new array; the input is not modified.
+    """
+    if elig is None:
+        elig = eligible_mask(instance, finished)
+    effective = assignment.copy()
+    for i in range(instance.m):
+        j = effective[i]
+        if j == IDLE:
+            continue
+        if finished[j] or not elig[j]:
+            effective[i] = IDLE
+    return effective
 
 
 def simulate(
@@ -134,17 +176,10 @@ def simulate(
     for t in range(horizon):
         if finished.all():
             break
-        a = _assignment_for_step(instance, schedule, t, finished, rng)
+        a = assignment_for_step(instance, schedule, t, finished, rng)
         steps = t + 1
         # Effective assignment: machines on finished/ineligible jobs idle.
-        elig = eligible_mask(instance, finished)
-        effective = a.copy()
-        for i in range(m):
-            j = effective[i]
-            if j == IDLE:
-                continue
-            if finished[j] or not elig[j]:
-                effective[i] = IDLE
+        effective = effective_assignment(instance, a, finished)
         if record_trace:
             trace.append(effective.copy())
         # Per-job completion draws.

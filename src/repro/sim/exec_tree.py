@@ -22,7 +22,7 @@ import numpy as np
 
 from .._util import as_rng
 from ..core.instance import SUUInstance
-from ..core.schedule import IDLE, AdaptivePolicy, CyclicSchedule, ObliviousSchedule, Regimen
+from ..core.schedule import AdaptivePolicy, CyclicSchedule, ObliviousSchedule, Regimen
 from ..errors import ExactSolverLimitError
 from .markov import eligible_bitmask, transition_distribution
 

@@ -3,13 +3,17 @@
 For oblivious (and cyclic) schedules all replications share the same
 assignment per step, so the whole replication batch advances in lockstep
 with numpy array operations — per the hpc-parallel guide, the hot loop is
-over *steps* only, never over replications or jobs.  Adaptive policies fall
-back to the scalar engine.
+over *steps* only, never over replications or jobs.  Deterministic adaptive
+policies and regimens run on the frontier-memoized batched engine
+(:mod:`repro.sim.batch`); randomized policies fall back to the scalar
+engine one replication at a time.  ``docs/architecture.md`` documents the
+decision tree, and ``engine="scalar"``/``"batched"`` forces a path.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,8 +21,9 @@ import numpy as np
 from .._util import as_rng
 from ..core.instance import SUUInstance
 from ..core.mass import assignment_success_prob
-from ..core.schedule import AdaptivePolicy, CyclicSchedule, ObliviousSchedule, Regimen
-from ..errors import SimulationLimitError
+from ..core.schedule import CyclicSchedule, ObliviousSchedule
+from ..errors import CensoredEstimateWarning, SimulationLimitError
+from .batch import batchable, simulate_batch
 from .engine import DEFAULT_MAX_STEPS, simulate
 
 __all__ = ["MakespanEstimate", "estimate_makespan", "completion_curve"]
@@ -32,6 +37,9 @@ class MakespanEstimate:
     finishing; their (censored) makespans are included in the mean, so when
     ``truncated > 0`` the mean is a *lower* bound on the true expectation
     and callers should enlarge ``max_steps``.
+    :func:`estimate_makespan` emits a :class:`~repro.errors.CensoredEstimateWarning`
+    whenever that happens, so a biased mean cannot be read silently; pass
+    ``require_finished=True`` to escalate censoring to an error instead.
     """
 
     mean: float
@@ -41,6 +49,9 @@ class MakespanEstimate:
     min: float
     max: float
     samples: np.ndarray | None = None
+    #: Which simulation path produced the samples:
+    #: "oblivious-lockstep" | "batched" | "scalar".
+    engine_used: str = "scalar"
 
     @property
     def ci95(self) -> tuple[float, float]:
@@ -150,23 +161,45 @@ def estimate_makespan(
     max_steps: int = DEFAULT_MAX_STEPS,
     keep_samples: bool = False,
     require_finished: bool = False,
+    engine: str = "auto",
 ) -> MakespanEstimate:
     """Estimate the expected makespan of ``schedule`` by Monte Carlo.
 
-    Oblivious and cyclic schedules use the vectorized lockstep path;
-    adaptive policies, regimens and anything else run through the scalar
-    engine one replication at a time.
+    With ``engine="auto"`` (see ``docs/architecture.md``): oblivious and
+    cyclic schedules use the vectorized lockstep path; deterministic
+    adaptive policies and regimens use the batched frontier-memoized
+    engine; randomized policies and anything else run through the scalar
+    engine one replication at a time.  ``engine="scalar"`` forces the
+    scalar reference engine for every schedule type; ``engine="batched"``
+    forces :func:`repro.sim.batch.simulate_batch` (rejecting schedules it
+    cannot batch).
+
+    When any replication is censored at the step budget, a
+    :class:`~repro.errors.CensoredEstimateWarning` is emitted (the mean is
+    then only a lower bound); ``require_finished=True`` raises instead.
     """
     if reps < 1:
         raise ValueError("reps must be >= 1")
+    if engine not in ("auto", "batched", "scalar"):
+        raise ValueError(f"unknown engine {engine!r}; expected auto|batched|scalar")
     rng = as_rng(rng)
     if isinstance(schedule, (ObliviousSchedule, CyclicSchedule)):
+        # Validate regardless of engine choice: the scalar loop would
+        # otherwise fail deep inside with a raw IndexError.
         schedule.validate_against(instance)
+    if engine == "auto" and isinstance(schedule, (ObliviousSchedule, CyclicSchedule)):
+        engine_used = "oblivious-lockstep"
         samples, finished_flags = _vectorized_oblivious(
             instance, schedule, reps, rng, max_steps
         )
         truncated = int((~finished_flags).sum())
+    elif engine == "batched" or (engine == "auto" and batchable(schedule)):
+        engine_used = "batched"
+        batch = simulate_batch(instance, schedule, reps, rng=rng, max_steps=max_steps)
+        samples = batch.makespans
+        truncated = batch.truncated
     else:
+        engine_used = "scalar"
         samples = np.empty(reps, dtype=np.int64)
         truncated = 0
         for r in range(reps):
@@ -180,6 +213,16 @@ def estimate_makespan(
         raise SimulationLimitError(
             f"{truncated}/{reps} replications hit the {max_steps}-step budget"
         )
+    if truncated:
+        warnings.warn(
+            CensoredEstimateWarning(
+                f"{truncated}/{reps} replications were censored at the "
+                f"{max_steps}-step budget; the reported mean is a lower bound "
+                "on the true expected makespan — enlarge max_steps or pass "
+                "require_finished=True"
+            ),
+            stacklevel=2,
+        )
     values = samples.astype(np.float64)
     mean = float(values.mean())
     std_err = float(values.std(ddof=1) / math.sqrt(reps)) if reps > 1 else 0.0
@@ -191,6 +234,7 @@ def estimate_makespan(
         min=float(values.min()),
         max=float(values.max()),
         samples=samples if keep_samples else None,
+        engine_used=engine_used,
     )
 
 

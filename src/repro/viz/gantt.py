@@ -8,8 +8,6 @@ one glyph per job.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.instance import SUUInstance
 from ..core.schedule import IDLE, CyclicSchedule, ObliviousSchedule
 

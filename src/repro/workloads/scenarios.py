@@ -18,7 +18,6 @@ from .._util import as_rng
 from ..core.dag import PrecedenceDAG
 from ..core.instance import SUUInstance
 from ..errors import ValidationError
-from .generators import probability_matrix
 
 __all__ = ["grid_computing", "project_management"]
 

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import PrecedenceDAG, SUUInstance, UnsupportedDagError
-from repro.algorithms import PRACTICAL, solve
+from repro.algorithms import solve
 from repro.workloads import (
     mixed_forest_dag,
     out_tree_dag,

@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro import ObliviousSchedule, SUUInstance
+from repro import ObliviousSchedule
 from repro.algorithms.replication import replicate_with_tail, serial_tail
 from repro.sim import simulate
 

@@ -6,9 +6,9 @@ import numpy as np
 import pytest
 
 from repro import PrecedenceDAG, SUUInstance
-from repro.bounds import LowerBounds, lower_bounds, lp_lower_bound
+from repro.bounds import lower_bounds, lp_lower_bound
 from repro.opt import optimal_expected_makespan
-from repro.workloads import mixed_forest_dag, probability_matrix
+from repro.workloads import mixed_forest_dag
 
 
 class TestSoundness:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import ChainBand, ChainBands, JobWindow, PrecedenceDAG, SUUInstance
+from repro import ChainBand, ChainBands, JobWindow, SUUInstance
 from repro.delay import (
     derandomized_delays,
     find_good_delays,

@@ -1,0 +1,123 @@
+"""Tests for repro.experiments.runner and the built-in suites."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    get_suite,
+    run_experiment,
+    run_suite,
+    suite_names,
+)
+
+
+def _tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        name="tiny",
+        generator="random",
+        generator_params={"n": 6, "m": 2, "dag_kind": "independent"},
+        instance_seed=3,
+        algorithm="adaptive",
+        reps=20,
+        max_steps=20_000,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestRunExperiment:
+    def test_runs_without_cache(self):
+        res = run_experiment(_tiny_spec(), cache_dir=None)
+        assert isinstance(res, ExperimentResult)
+        assert res.mean > 0
+        assert res.engine_used == "batched"
+        assert not res.cache_hit
+
+    def test_cache_roundtrip(self, tmp_path):
+        spec = _tiny_spec()
+        first = run_experiment(spec, cache_dir=tmp_path)
+        second = run_experiment(spec, cache_dir=tmp_path)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.mean == first.mean
+        assert second.spec == spec
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_force_recomputes(self, tmp_path):
+        spec = _tiny_spec()
+        run_experiment(spec, cache_dir=tmp_path)
+        forced = run_experiment(spec, cache_dir=tmp_path, force=True)
+        assert not forced.cache_hit
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        spec = _tiny_spec()
+        first = run_experiment(spec, cache_dir=tmp_path)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{not json")
+        res = run_experiment(spec, cache_dir=tmp_path)
+        assert not res.cache_hit
+        assert res.mean == first.mean  # same seeds -> same numbers
+        # the entry was repaired
+        assert json.loads(entry.read_text())["mean"] == first.mean
+
+    def test_different_specs_different_entries(self, tmp_path):
+        run_experiment(_tiny_spec(), cache_dir=tmp_path)
+        run_experiment(_tiny_spec(sim_seed=9), cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_reference_ratio(self):
+        res = run_experiment(
+            _tiny_spec(compute_reference=True, exact_limit=0), cache_dir=None
+        )
+        assert res.reference is not None and res.reference > 0
+        assert res.reference_kind == "lower_bound"
+        assert res.ratio == pytest.approx(res.mean / res.reference)
+
+    def test_certificates_jsonable(self, tmp_path):
+        res = run_experiment(_tiny_spec(algorithm="lp"), cache_dir=tmp_path)
+        json.dumps(res.to_dict())  # must not raise
+        assert res.engine_used == "oblivious-lockstep"
+        assert "guarantee" in res.certificates
+
+
+class TestRunSuite:
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        specs = [_tiny_spec(), _tiny_spec(sim_seed=4)]
+        results = run_suite(
+            specs, cache_dir=tmp_path, progress=lambda s, r: seen.append(s.name)
+        )
+        assert len(results) == 2
+        assert seen == ["tiny", "tiny"]
+
+
+class TestSuites:
+    def test_names_and_unknown(self):
+        assert "smoke" in suite_names()
+        with pytest.raises(ExperimentError):
+            get_suite("imaginary")
+
+    @pytest.mark.parametrize("name", ["smoke", "adaptivity_gap", "adaptive_ratio", "oblivious_ratio", "scenarios"])
+    def test_builtin_suites_wellformed(self, name):
+        specs = get_suite(name)
+        assert specs
+        names = [s.name for s in specs]
+        assert len(set(names)) == len(names), "suite spec names must be unique"
+        hashes = [s.spec_hash() for s in specs]
+        assert len(set(hashes)) == len(hashes), "suite specs must be distinct"
+
+    def test_smoke_suite_runs(self, tmp_path):
+        # The CI gate: the whole smoke suite must execute end to end.
+        results = run_suite(get_suite("smoke"), cache_dir=tmp_path)
+        assert {r.engine_used for r in results} == {
+            "batched",
+            "oblivious-lockstep",
+            "scalar",
+        }
+        assert all(r.mean > 0 for r in results)

@@ -1,0 +1,101 @@
+"""Tests for repro.experiments.spec and the registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import SUUInstance
+from repro.core.schedule import ScheduleResult
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ALGORITHMS,
+    GENERATORS,
+    ExperimentSpec,
+    register_algorithm,
+    register_generator,
+    resolve_algorithm,
+    resolve_constants,
+    resolve_generator,
+)
+from repro.algorithms import LEAN, PAPER, PRACTICAL
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert {"random", "grid", "project", "greedy_trap"} <= set(GENERATORS)
+        assert {"solve", "adaptive", "oblivious", "lp", "serial"} <= set(ALGORITHMS)
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ExperimentError):
+            resolve_generator("no-such-generator")
+        with pytest.raises(ExperimentError):
+            resolve_algorithm("no-such-algorithm")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError):
+            register_generator("random")(lambda rng: None)
+        with pytest.raises(ExperimentError):
+            register_algorithm("solve")(lambda instance, rng: None)
+
+    def test_resolve_constants(self):
+        assert resolve_constants("paper") is PAPER
+        assert resolve_constants("practical") is PRACTICAL
+        assert resolve_constants("lean") is LEAN
+        assert resolve_constants(PRACTICAL) is PRACTICAL
+        with pytest.raises(ExperimentError):
+            resolve_constants("heroic")
+
+
+class TestSpecHash:
+    def test_name_excluded_from_hash(self):
+        a = ExperimentSpec(name="alpha", instance_seed=1)
+        b = ExperimentSpec(name="beta", instance_seed=1)
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_parameters_change_hash(self):
+        base = ExperimentSpec(name="x", instance_seed=1)
+        assert base.spec_hash() != ExperimentSpec(name="x", instance_seed=2).spec_hash()
+        assert base.spec_hash() != ExperimentSpec(name="x", reps=999).spec_hash()
+        assert (
+            base.spec_hash()
+            != ExperimentSpec(name="x", algorithm_params={"constants": "paper"}).spec_hash()
+        )
+
+    def test_hash_stable_under_roundtrip(self):
+        spec = ExperimentSpec(
+            name="rt",
+            generator="random",
+            generator_params={"n": 10, "m": 4, "prob_model": "specialist"},
+            algorithm="lp",
+            algorithm_params={"constants": "lean"},
+            compute_reference=True,
+        )
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+
+class TestBuild:
+    def test_build_instance_deterministic(self):
+        spec = ExperimentSpec(
+            name="det", generator_params={"n": 9, "m": 3}, instance_seed=5
+        )
+        i1, i2 = spec.build_instance(), spec.build_instance()
+        assert isinstance(i1, SUUInstance)
+        assert i1 == i2
+
+    def test_build_schedule(self):
+        spec = ExperimentSpec(
+            name="sched", generator_params={"n": 6, "m": 2}, algorithm="adaptive"
+        )
+        inst = spec.build_instance()
+        result = spec.build_schedule(inst)
+        assert isinstance(result, ScheduleResult)
+        assert result.algorithm == "suu_i_adaptive"
+
+    def test_bad_generator_return_type(self):
+        if "broken-gen" not in GENERATORS:
+            register_generator("broken-gen")(lambda rng, **kw: 42)
+        spec = ExperimentSpec(name="bad", generator="broken-gen")
+        with pytest.raises(ExperimentError):
+            spec.build_instance()

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import CyclicSchedule, ObliviousSchedule, PrecedenceDAG, SUUInstance
-from repro.errors import SimulationLimitError
+from repro.errors import CensoredEstimateWarning, SimulationLimitError
 from repro.sim import estimate_makespan, expected_makespan_cyclic
 from repro.sim.montecarlo import completion_curve
 
@@ -57,7 +57,7 @@ class TestAgainstClosedForms:
 
 
 class TestVectorizedVsScalarPath:
-    def test_adaptive_falls_back_to_scalar(self, tiny_independent, rng):
+    def test_adaptive_routes_to_batched_engine(self, tiny_independent, rng):
         from repro.algorithms import suu_i_adaptive
 
         policy = suu_i_adaptive(tiny_independent).schedule
@@ -77,11 +77,28 @@ class TestVectorizedVsScalarPath:
         est = estimate_makespan(inst, cyc, reps=50, rng=0)
         assert est.mean == 2.0
 
-    def test_finite_oblivious_truncation_counted(self):
+    def test_finite_oblivious_truncation_counted_and_warned(self):
         inst = geometric_instance(0.3)
         sched = ObliviousSchedule(np.zeros((2, 1), dtype=np.int32))  # only 2 tries
-        est = estimate_makespan(inst, sched, reps=500, rng=1, max_steps=100)
+        with pytest.warns(CensoredEstimateWarning, match="lower bound"):
+            est = estimate_makespan(inst, sched, reps=500, rng=1, max_steps=100)
         assert est.truncated > 0
+
+    def test_batched_truncation_warned(self, tiny_independent):
+        from repro.algorithms import suu_i_adaptive
+
+        policy = suu_i_adaptive(tiny_independent).schedule
+        with pytest.warns(CensoredEstimateWarning):
+            est = estimate_makespan(tiny_independent, policy, reps=200, rng=3, max_steps=1)
+        assert est.truncated > 0
+
+    def test_no_warning_when_all_finish(self, tiny_independent, recwarn):
+        cyc = CyclicSchedule(
+            ObliviousSchedule.empty(3),
+            ObliviousSchedule(np.array([[0, 1, 2]])),
+        )
+        estimate_makespan(tiny_independent, cyc, reps=50, rng=0)
+        assert not [w for w in recwarn.list if issubclass(w.category, CensoredEstimateWarning)]
 
     def test_require_finished_raises(self):
         inst = geometric_instance(0.3)
@@ -100,6 +117,13 @@ class TestVectorizedVsScalarPath:
     def test_reps_validated(self, tiny_independent):
         with pytest.raises(ValueError):
             estimate_makespan(tiny_independent, single_job_cycle(3), reps=0)
+
+    def test_scalar_engine_still_validates_schedule(self, tiny_independent):
+        from repro.errors import ScheduleError
+
+        bad = ObliviousSchedule(np.array([[7, 7, 7]]))  # job id beyond instance
+        with pytest.raises(ScheduleError):
+            estimate_makespan(tiny_independent, bad, reps=5, rng=0, engine="scalar")
 
     def test_seeded_determinism(self, tiny_independent):
         cyc = CyclicSchedule(

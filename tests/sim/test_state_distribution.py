@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import CyclicSchedule, ObliviousSchedule, PrecedenceDAG, SUUInstance
+from repro import CyclicSchedule, ObliviousSchedule, SUUInstance
 from repro.errors import ExactSolverLimitError
 from repro.sim import (
     exact_completion_curve,

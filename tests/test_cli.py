@@ -96,6 +96,52 @@ class TestDemo:
         assert "ratio" in out
 
 
+class TestRunExperiments:
+    def test_list_suites(self, capsys):
+        assert main(["run-experiments", "--list-suites"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "adaptivity_gap" in out
+
+    def test_smoke_suite(self, tmp_path, capsys):
+        assert (
+            main(["run-experiments", "--smoke", "--cache-dir", str(tmp_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "suite: smoke" in out
+        assert "smoke-adaptive" in out
+        assert "batched" in out
+        # results were cached on disk
+        assert list(tmp_path.glob("*.json"))
+
+    def test_cache_hit_on_second_run(self, tmp_path, capsys):
+        main(["run-experiments", "--smoke", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert (
+            main(["run-experiments", "--smoke", "--cache-dir", str(tmp_path)]) == 0
+        )
+        assert "hit" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "results.json"
+        assert (
+            main(
+                [
+                    "run-experiments",
+                    "--smoke",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(target.read_text())
+        assert len(data) == 3
+        assert all("spec" in rec and "mean" in rec for rec in data)
+
+
 class TestGantt:
     @pytest.fixture
     def instance_file(self, tmp_path):
