@@ -1,0 +1,139 @@
+"""PERF — sharded process executor vs single-worker execution.
+
+Scaling study for the parallel backend (`repro/parallel/`): a 1000-rep
+suite over the four A3 failure regimes, estimated with the *randomized*
+baseline policy.  Randomized policies are the workload class the batched
+engine cannot take (sharing draws across replications would correlate
+them), so every replication runs through the scalar reference engine —
+exactly the regime where fanning replication shards out to worker
+processes is the only remaining speedup axis.
+
+Each spec's 1000 replications split into 16 `SeedSequence.spawn`-seeded
+shards; `workers=1` and `workers=N` execute the *same* shards and merge in
+the same order, so the benchmark first asserts that every worker count
+produces identical numbers, then measures wall-clock.
+
+The ≥2.5x speedup claim at ``workers=4`` is only assertable on hardware
+with ≥4 usable cores — process parallelism cannot beat physics on a 1-core
+container.  The measurement always runs and is recorded (with the core
+count) in ``benchmarks/results/perf_parallel.json``; the assertion is
+gated on the cores actually available.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import Table
+from repro.experiments import ExperimentSpec, run_suite
+from repro.experiments.suites import A3_REGIMES
+from repro.parallel import ProcessExecutor, default_workers
+
+REPS = 1000
+MAX_STEPS = 300_000
+WORKER_COUNTS = (1, 2, 4)
+REQUIRED_SPEEDUP = 2.5
+
+
+def _suite() -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            name=f"perf-parallel-{regime}",
+            generator="random",
+            generator_params={
+                "n": 16,
+                "m": 6,
+                "dag_kind": "independent",
+                "prob_model": "uniform",
+                "lo": lo,
+                "hi": hi,
+            },
+            instance_seed=seed,
+            algorithm="random_policy",
+            reps=REPS,
+            max_steps=MAX_STEPS,
+            sim_seed=20070611,
+        )
+        for regime, lo, hi, seed in A3_REGIMES
+    ]
+
+
+def _timed_run(workers: int) -> tuple[float, list]:
+    specs = _suite()
+    with ProcessExecutor(workers=workers) as exe:
+        t0 = time.perf_counter()
+        results = run_suite(specs, cache_dir=None, executor=exe)
+        wall = time.perf_counter() - t0
+    return wall, results
+
+
+def _measure():
+    # Warm-up: the first suite execution pays one-time costs (allocator
+    # growth, code paths becoming hot) that would otherwise be billed to
+    # whichever worker count happens to run first.
+    _timed_run(WORKER_COUNTS[0])
+    runs = {}
+    for workers in WORKER_COUNTS:
+        runs[workers] = _timed_run(workers)
+    return runs
+
+
+def test_perf_parallel_scaling(benchmark, recorder):
+    runs = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    cores = default_workers()
+    base_wall, base_results = runs[WORKER_COUNTS[0]]
+
+    table = Table(
+        ["workers", "wall (s)", "speedup", "spec/s"],
+        title=(
+            f"PERF  process-sharded suite, random_policy "
+            f"(n=16, m=6, reps={REPS}, {len(base_results)} specs, {cores} cores)"
+        ),
+    )
+    invariant = True
+    for workers in WORKER_COUNTS:
+        wall, results = runs[workers]
+        speedup = base_wall / wall
+        invariant &= all(
+            (a.mean, a.std_err, a.min, a.max, a.truncated)
+            == (b.mean, b.std_err, b.min, b.max, b.truncated)
+            for a, b in zip(base_results, results)
+        )
+        table.add_row([workers, wall, speedup, len(results) / wall])
+        recorder.add(
+            workers=workers,
+            wall_s=wall,
+            speedup=speedup,
+            means=[r.mean for r in results],
+        )
+    print("\n" + table.render())
+
+    speedup_at_4 = base_wall / runs[4][0]
+    recorder.add(
+        kind="summary",
+        cpu_count=cores,
+        reps=REPS,
+        speedup_at_4_workers=speedup_at_4,
+        required_speedup=REQUIRED_SPEEDUP,
+        speedup_assertable=cores >= 4,
+    )
+    recorder.claim("worker_count_invariant", invariant)
+    assert invariant, "worker counts disagreed on the merged estimates"
+
+    if cores >= 4:
+        recorder.claim(
+            "speedup_at_4_workers_ge_2.5x", speedup_at_4 >= REQUIRED_SPEEDUP
+        )
+        assert speedup_at_4 >= REQUIRED_SPEEDUP, (
+            f"workers=4 gave {speedup_at_4:.2f}x over workers=1 "
+            f"(need >= {REQUIRED_SPEEDUP}x on {cores} cores)"
+        )
+    else:
+        # Record the environment limitation loudly instead of skipping the
+        # whole measurement: the invariance claim above still holds, and
+        # the wall-clock rows document what this box can show.
+        recorder.claim("speedup_measured_on_sufficient_cores", False)
+        print(
+            f"\nonly {cores} core(s) visible - the >= {REQUIRED_SPEEDUP}x "
+            "speedup criterion needs >= 4; recorded measurements only"
+        )

@@ -47,12 +47,27 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument(
         "--dag",
         default="independent",
-        choices=["independent", "chains", "out_tree", "in_tree", "mixed_forest", "layered"],
+        choices=[
+            "independent",
+            "chains",
+            "out_tree",
+            "in_tree",
+            "mixed_forest",
+            "layered",
+            "diamond",
+        ],
     )
     g.add_argument(
         "--prob",
         default="uniform",
-        choices=["uniform", "machine_speed", "specialist", "power_law", "sparse"],
+        choices=[
+            "uniform",
+            "machine_speed",
+            "specialist",
+            "power_law",
+            "sparse",
+            "heterogeneous",
+        ],
     )
     g.add_argument("--seed", type=int, default=0)
 
@@ -114,6 +129,20 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--no-cache", action="store_true", help="disable the result cache")
     e.add_argument(
         "--force", action="store_true", help="recompute even when cached"
+    )
+    e.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sharded parallel backend "
+        "(default: 1; implies --executor process when > 1)",
+    )
+    e.add_argument(
+        "--executor",
+        default=None,
+        choices=["serial", "process"],
+        help="execution backend (default: serial, or process when --workers > 1); "
+        "results are identical either way — only wall-clock changes",
     )
     e.add_argument("--json", type=Path, help="also write all results to this JSON file")
     return parser
@@ -240,13 +269,8 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_run_experiments(args) -> int:
-    from .errors import ExperimentError
-    from .experiments import (
-        DEFAULT_CACHE_DIR,
-        get_suite,
-        run_suite,
-        suite_names,
-    )
+    from .experiments import DEFAULT_CACHE_DIR, suite_names
+    from .parallel import get_executor
 
     if args.list_suites:
         for name in suite_names():
@@ -258,6 +282,23 @@ def _cmd_run_experiments(args) -> int:
     if not names:
         names = ["smoke"]
     cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    executor = get_executor(args.executor, args.workers)
+    if executor.name == "process":
+        print(
+            f"executor: process x {executor.workers} workers",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        return _run_suites(names, args, cache_dir, executor)
+    finally:
+        executor.close()
+
+
+def _run_suites(names, args, cache_dir, executor) -> int:
+    from .errors import ExperimentError
+    from .experiments import get_suite, run_suite
+
     all_results = []
     for suite in names:
         try:
@@ -275,7 +316,11 @@ def _cmd_run_experiments(args) -> int:
             print(f"  [{suite}] {spec.name}: {status}", file=sys.stderr, flush=True)
 
         results = run_suite(
-            specs, cache_dir=cache_dir, force=args.force, progress=stream
+            specs,
+            cache_dir=cache_dir,
+            force=args.force,
+            progress=stream,
+            executor=executor,
         )
         for res in results:
             table.add_row(

@@ -51,6 +51,18 @@ class ExperimentError(ReproError):
     """An experiment spec is malformed or references an unknown registry key."""
 
 
+class StaleCacheWarning(UserWarning):
+    """A cached experiment entry was written under an older result schema.
+
+    Emitted by :func:`repro.experiments.runner.run_experiment` when it
+    discards (and recomputes) a version-mismatched cache entry, so silent
+    reuse of stale numbers is impossible but a cache upgrade does not brick
+    existing sweeps.  Loading such an entry directly via
+    :meth:`ExperimentResult.from_dict` raises
+    :class:`ExperimentError` instead.
+    """
+
+
 class CensoredEstimateWarning(UserWarning):
     """A Monte Carlo estimate includes replications censored at the step budget.
 

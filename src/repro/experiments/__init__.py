@@ -21,7 +21,13 @@ from .registry import (
     resolve_constants,
     resolve_generator,
 )
-from .runner import DEFAULT_CACHE_DIR, ExperimentResult, run_experiment, run_suite
+from .runner import (
+    DEFAULT_CACHE_DIR,
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    run_experiment,
+    run_suite,
+)
 from .spec import SPEC_VERSION, ExperimentSpec
 from .suites import SUITES, get_suite, register_suite, suite_names
 
@@ -30,6 +36,7 @@ __all__ = [
     "GENERATORS",
     "SUITES",
     "SPEC_VERSION",
+    "RESULT_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "ExperimentSpec",
     "ExperimentResult",

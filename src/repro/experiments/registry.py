@@ -43,8 +43,10 @@ from ..core.instance import SUUInstance
 from ..core.schedule import ScheduleResult
 from ..errors import ExperimentError
 from ..workloads import (
+    diamond_dag,
     greedy_trap,
     grid_computing,
+    probability_matrix,
     project_management,
     random_instance,
 )
@@ -147,6 +149,14 @@ def _gen_project(rng, **kw):
 def _gen_greedy_trap(rng, n=12, m=4, **kw):
     # The trap family is deterministic by construction; rng is unused.
     return greedy_trap(n, m, **kw)
+
+
+@register_generator("diamond")
+def _gen_diamond(rng, n=16, m=6, width=3, jitter=False, prob_model="uniform", **kw):
+    """Series-parallel fan-out/fan-in pipelines (``workloads.diamond_dag``)."""
+    dag = diamond_dag(n, width=width, rng=rng, jitter=jitter)
+    p = probability_matrix(m, n, model=prob_model, rng=rng, **kw)
+    return SUUInstance(p, dag, name=f"diamond/{prob_model}(n={n},m={m},w={width})")
 
 
 # ----------------------------------------------------------------------

@@ -24,7 +24,9 @@ from .registry import resolve_algorithm, resolve_generator
 __all__ = ["ExperimentSpec", "SPEC_VERSION"]
 
 #: Bump to invalidate every cached result when estimation semantics change.
-SPEC_VERSION = 1
+#: v2: estimation runs through the sharded backend (repro.parallel) — shard
+#: streams replaced the single sim_seed stream, changing every number.
+SPEC_VERSION = 2
 
 
 @dataclass
@@ -83,11 +85,15 @@ class ExperimentSpec:
         after changing algorithm code.
         """
         from .. import __version__
+        from ..parallel.sharding import default_shard_count
 
         payload = self.to_dict()
         payload.pop("name")
         payload["__version__"] = SPEC_VERSION
         payload["__package_version__"] = __version__
+        # The default shard plan fixes the RNG stream structure, so a
+        # change to the sharding constants must invalidate cached results.
+        payload["__shards__"] = default_shard_count(self.reps)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 

@@ -202,6 +202,51 @@ def _oblivious_ratio() -> list[ExperimentSpec]:
 
 
 # ----------------------------------------------------------------------
+# Families: scenario diversity across DAG shapes × probability models,
+# comparing the DAG-general policies.  The diamond family and the
+# heterogeneous speed-class model land here; the suite is sized for the
+# parallel backend (reps large enough to shard).
+# ----------------------------------------------------------------------
+FAMILY_DAGS: list[tuple[str, dict]] = [
+    ("independent", {}),
+    ("chains", {"num_chains": 4}),
+    ("diamond", {"width": 4}),
+]
+
+FAMILY_PROB_MODELS = ("uniform", "heterogeneous")
+
+FAMILY_ALGORITHMS = ("msm_eligible", "greedy")
+
+
+@register_suite("families")
+def _families() -> list[ExperimentSpec]:
+    specs = []
+    for dag_kind, dag_params in FAMILY_DAGS:
+        for prob_model in FAMILY_PROB_MODELS:
+            for alg in FAMILY_ALGORITHMS:
+                specs.append(
+                    ExperimentSpec(
+                        name=f"fam-{dag_kind}-{prob_model}-{alg}",
+                        generator="random",
+                        generator_params={
+                            "n": 20,
+                            "m": 6,
+                            "dag_kind": dag_kind,
+                            "prob_model": prob_model,
+                            **dag_params,
+                        },
+                        instance_seed=3000 + len(specs),
+                        algorithm=alg,
+                        reps=200,
+                        max_steps=100_000,
+                        compute_reference=True,
+                        exact_limit=0,
+                    )
+                )
+    return specs
+
+
+# ----------------------------------------------------------------------
 # Scenarios: the two paper-motivated applications, end to end.
 # ----------------------------------------------------------------------
 @register_suite("scenarios")

@@ -1,0 +1,213 @@
+"""Executor abstraction: run independent tasks serially or on a process pool.
+
+The parallel backend never encodes *where* work runs into the work itself:
+shard plans and task payloads are identical under every executor, and an
+executor only controls scheduling.  That separation is what makes sharded
+estimates worker-count invariant (see :mod:`repro.parallel.sharding`).
+
+Two executors ship:
+
+* :class:`SerialExecutor` — runs tasks inline, in submission order.  The
+  reference implementation; also the default, so nothing forks unless a
+  caller asks for workers.
+* :class:`ProcessExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  wrapper.  Tasks and results cross a pickle boundary; results stream back
+  through ``progress`` in completion order but are *returned* in
+  submission order, so downstream merging is deterministic.
+
+Worker processes prefer the ``fork`` start method when the platform offers
+it (payloads stay cheap and the ``repro`` package needs no re-import); on
+platforms without ``fork`` the default start method is used, which requires
+``repro`` to be importable in fresh interpreters (e.g. via ``PYTHONPATH``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+from ..errors import ExperimentError, ValidationError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "default_workers",
+    "EXECUTOR_NAMES",
+]
+
+EXECUTOR_NAMES = ("serial", "process")
+
+
+def default_workers() -> int:
+    """Number of CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+class Executor(ABC):
+    """Run a batch of independent tasks and return results in task order."""
+
+    #: Registry-style name ("serial" / "process"), used in logs and tables.
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def workers(self) -> int:
+        """Maximum number of tasks that may run concurrently."""
+
+    @abstractmethod
+    def map_tasks(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        progress: Callable[[int, object], None] | None = None,
+    ) -> list:
+        """Apply ``fn`` to every task; return results in submission order.
+
+        ``progress(index, result)`` is invoked once per task as it
+        completes (completion order under a pool, submission order
+        serially).  The first task failure propagates after pending tasks
+        are cancelled.
+        """
+
+    def close(self) -> None:
+        """Release pooled resources.  Idempotent; a no-op for serial."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Run every task inline in the calling process."""
+
+    name = "serial"
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def map_tasks(self, fn, tasks, progress=None):
+        results = []
+        for i, task in enumerate(tasks):
+            result = fn(task)
+            if progress is not None:
+                progress(i, result)
+            results.append(result)
+        return results
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ProcessExecutor(Executor):
+    """Fan tasks out to a pool of worker processes.
+
+    The pool is created lazily on the first :meth:`map_tasks` call and
+    reused until :meth:`close`, so a suite run pays process start-up once,
+    not once per spec.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self._workers = int(workers) if workers is not None else default_workers()
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers, mp_context=_mp_context()
+            )
+        return self._pool
+
+    def map_tasks(self, fn, tasks, progress=None):
+        pool = self._ensure_pool()
+        futures: dict[Future, int] = {}
+        try:
+            for i, task in enumerate(tasks):
+                futures[pool.submit(fn, task)] = i
+        except BrokenProcessPool as exc:  # pragma: no cover - hard to provoke
+            raise ExperimentError(
+                "worker pool broke while submitting tasks; payloads must be "
+                "picklable (spec-driven tasks always are)"
+            ) from exc
+        results: list = [None] * len(futures)
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    idx = futures[fut]
+                    result = fut.result()  # re-raises worker exceptions
+                    results[idx] = result
+                    if progress is not None:
+                        progress(idx, result)
+        except BaseException:
+            for fut in pending:
+                fut.cancel()
+            raise
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def get_executor(
+    executor: "str | Executor | None" = None,
+    workers: int | None = None,
+) -> Executor:
+    """Resolve an executor name (or pass an instance through).
+
+    With ``executor=None`` the worker count decides: ``workers`` absent or
+    1 stays serial, anything larger gets a process pool — so
+    ``workers=4`` alone means "four worker processes" everywhere.
+    """
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    if isinstance(executor, Executor):
+        if workers is not None and workers != executor.workers:
+            raise ValidationError(
+                f"workers={workers} conflicts with {executor!r}; configure the "
+                "executor instance directly"
+            )
+        return executor
+    if executor is None:
+        executor = "process" if workers is not None and workers > 1 else "serial"
+    if executor == "serial":
+        if workers is not None and workers > 1:
+            raise ValidationError(
+                "the serial executor runs one task at a time; drop workers= or "
+                "use executor='process'"
+            )
+        return SerialExecutor()
+    if executor == "process":
+        return ProcessExecutor(workers)
+    raise ValidationError(
+        f"unknown executor {executor!r}; expected one of {EXECUTOR_NAMES}"
+    )

@@ -1,0 +1,119 @@
+"""Streaming aggregation of per-shard Monte Carlo statistics.
+
+Workers never ship their sample arrays back by default — each shard reduces
+its makespans to a :class:`PartialEstimate` (count, mean, centered second
+moment M2, min, max, truncation count), and the parent folds partials with
+the numerically stable pairwise update of Chan, Golub & LeVeque (1983).
+The fold runs in shard-index order regardless of completion order, so the
+merged mean/std_err are bitwise identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["PartialEstimate", "merge_partials"]
+
+
+@dataclass(frozen=True)
+class PartialEstimate:
+    """Mergeable sufficient statistics of one batch of makespan samples.
+
+    ``m2`` is the centered second moment ``sum((x - mean)**2)``, so the
+    unbiased sample variance is ``m2 / (count - 1)`` — the same quantity
+    ``np.std(ddof=1)**2`` reports on the concatenated samples.
+    """
+
+    count: int
+    mean: float
+    m2: float
+    min: float
+    max: float
+    truncated: int = 0
+
+    @classmethod
+    def from_samples(
+        cls, samples: np.ndarray | Sequence[float], truncated: int = 0
+    ) -> "PartialEstimate":
+        values = np.asarray(samples, dtype=np.float64)
+        if values.size == 0:
+            raise ValidationError("cannot summarize an empty sample batch")
+        mean = float(values.mean())
+        return cls(
+            count=int(values.size),
+            mean=mean,
+            m2=float(np.square(values - mean).sum()),
+            min=float(values.min()),
+            max=float(values.max()),
+            truncated=int(truncated),
+        )
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``ddof=1``); 0.0 for a single sample."""
+        return self.m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std_err(self) -> float:
+        """Standard error of the mean, matching ``std(ddof=1)/sqrt(n)``."""
+        return math.sqrt(self.variance) / math.sqrt(self.count) if self.count > 1 else 0.0
+
+    # -- merging ---------------------------------------------------------
+    def merge(self, other: "PartialEstimate") -> "PartialEstimate":
+        """Combine two disjoint batches (Chan et al. parallel update)."""
+        na, nb = self.count, other.count
+        n = na + nb
+        delta = other.mean - self.mean
+        mean = self.mean + delta * (nb / n)
+        m2 = self.m2 + other.m2 + delta * delta * (na * nb / n)
+        return PartialEstimate(
+            count=n,
+            mean=mean,
+            m2=m2,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+            truncated=self.truncated + other.truncated,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.min,
+            "max": self.max,
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartialEstimate":
+        return cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            m2=float(data["m2"]),
+            min=float(data["min"]),
+            max=float(data["max"]),
+            truncated=int(data["truncated"]),
+        )
+
+
+def merge_partials(parts: Iterable[PartialEstimate]) -> PartialEstimate:
+    """Fold partials left to right.
+
+    Callers pass partials in shard-index order; the fold order fixes the
+    floating-point association, which is what makes merged statistics
+    worker-count invariant.
+    """
+    acc: PartialEstimate | None = None
+    for part in parts:
+        acc = part if acc is None else acc.merge(part)
+    if acc is None:
+        raise ValidationError("cannot merge an empty sequence of partials")
+    return acc

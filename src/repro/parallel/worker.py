@@ -1,0 +1,221 @@
+"""Worker-side functions of the parallel backend.
+
+Everything in this module is a plain module-level function operating on
+picklable payloads, so it can cross the process boundary under any
+multiprocessing start method.  Two task families exist:
+
+* **object tasks** (:func:`estimate_shard`) — the instance and schedule are
+  shipped to the worker by pickle.  Used by
+  ``estimate_makespan(..., workers=N)``; oblivious/cyclic schedules and
+  regimens pickle fine, adaptive policies built from closures do not (the
+  orchestrator pre-flights this and points callers at the spec route).
+* **spec tasks** (:func:`run_spec_task`) — only the JSON spec dict travels;
+  the worker rebuilds the instance and schedule through the experiment
+  registries.  Rebuilding is deterministic (instance and solver seeds live
+  in the spec), so every worker reconstructs the identical schedule, and a
+  per-process LRU cache makes the rebuild a one-time cost per spec rather
+  than per shard.
+
+Workers silence :class:`~repro.errors.CensoredEstimateWarning` — truncation
+counts travel back inside the partials and the *parent* re-emits one
+warning for the merged estimate, instead of one per shard per process.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import CensoredEstimateWarning
+from .merge import PartialEstimate
+from .sharding import Shard
+
+__all__ = [
+    "ShardOutcome",
+    "SpecTask",
+    "SpecTaskOutcome",
+    "estimate_shard",
+    "run_spec_task",
+]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one replication shard sends back to the aggregator."""
+
+    shard_index: int
+    partial: PartialEstimate
+    engine_used: str
+    elapsed_s: float
+    samples: tuple[int, ...] | None = None
+
+
+def _estimate_partial(
+    instance,
+    schedule,
+    shard: Shard,
+    max_steps: int,
+    engine: str,
+    keep_samples: bool,
+) -> ShardOutcome:
+    """Run one shard through the (single-process) estimator and summarize it."""
+    from ..sim.montecarlo import estimate_makespan
+
+    t0 = time.perf_counter()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CensoredEstimateWarning)
+        est = estimate_makespan(
+            instance,
+            schedule,
+            reps=shard.reps,
+            rng=shard.rng(),
+            max_steps=max_steps,
+            keep_samples=True,
+            engine=engine,
+        )
+    assert est.samples is not None
+    return ShardOutcome(
+        shard_index=shard.index,
+        partial=PartialEstimate.from_samples(est.samples, truncated=est.truncated),
+        engine_used=est.engine_used,
+        elapsed_s=time.perf_counter() - t0,
+        samples=tuple(int(x) for x in est.samples) if keep_samples else None,
+    )
+
+
+@dataclass(frozen=True)
+class _ObjectShardTask:
+    """Payload for :func:`estimate_shard`: ship the objects themselves."""
+
+    instance: object
+    schedule: object
+    shard: Shard
+    max_steps: int
+    engine: str
+    keep_samples: bool
+
+
+def estimate_shard(task: _ObjectShardTask) -> ShardOutcome:
+    return _estimate_partial(
+        task.instance,
+        task.schedule,
+        task.shard,
+        task.max_steps,
+        task.engine,
+        task.keep_samples,
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec route: rebuild instance + schedule from the registries.
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=8)
+def _build_instance_from_spec(spec_json: str):
+    """Rebuild (spec, instance) from canonical spec JSON, cached per process."""
+    from ..experiments.spec import ExperimentSpec
+
+    spec = ExperimentSpec.from_dict(json.loads(spec_json))
+    return spec, spec.build_instance()
+
+
+@lru_cache(maxsize=8)
+def _build_from_spec(spec_json: str):
+    """Rebuild (spec, instance, schedule_result) from canonical spec JSON.
+
+    Cached per process: with a reused pool every worker builds each spec
+    (including a possibly expensive solver run) once, then serves all of
+    that spec's shards from the cache.  Determinism of the rebuild is what
+    makes this safe — the spec pins both the instance seed and the solver
+    seed, so every process reconstructs the identical schedule.  Reference
+    tasks use only :func:`_build_instance_from_spec`, skipping the solver.
+    """
+    spec, instance = _build_instance_from_spec(spec_json)
+    result = spec.build_schedule(instance)
+    return spec, instance, result
+
+
+def spec_payload(spec) -> str:
+    """Canonical JSON for a spec, used as both task payload and cache key."""
+    return json.dumps(spec.to_dict(), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class SpecTask:
+    """One unit of suite work: a replication shard or a reference solve.
+
+    ``kind`` is ``"shard"`` (simulate ``shard`` of the spec's replications)
+    or ``"reference"`` (compute the ratio denominator via
+    :func:`repro.analysis.reference_makespan`).  ``spec_index`` threads the
+    position in the suite back to the aggregator, which routes outcomes to
+    the right spec regardless of completion order.
+    """
+
+    spec_index: int
+    spec_json: str
+    kind: str
+    shard: Shard | None = None
+
+
+@dataclass(frozen=True)
+class SpecTaskOutcome:
+    spec_index: int
+    kind: str
+    shard: ShardOutcome | None = None
+    algorithm: str | None = None
+    certificates: dict | None = None
+    reference: float | None = None
+    reference_kind: str | None = None
+    elapsed_s: float = 0.0
+
+
+def run_spec_task(task: SpecTask) -> SpecTaskOutcome:
+    if task.kind == "shard":
+        spec, instance, result = _build_from_spec(task.spec_json)
+        assert task.shard is not None
+        outcome = _estimate_partial(
+            instance,
+            result.schedule,
+            task.shard,
+            max_steps=spec.max_steps,
+            engine=spec.engine,
+            keep_samples=False,
+        )
+        # Certificates ride on shard 0 only: every shard holds the same
+        # schedule, so sending n_shards copies would be pure overhead.
+        certificates = None
+        if task.shard.index == 0:
+            from ..experiments.runner import _jsonable
+
+            certificates = {k: _jsonable(v) for k, v in result.certificates.items()}
+        return SpecTaskOutcome(
+            spec_index=task.spec_index,
+            kind="shard",
+            shard=outcome,
+            algorithm=result.algorithm,
+            certificates=certificates,
+            elapsed_s=outcome.elapsed_s,
+        )
+    if task.kind == "reference":
+        from ..analysis.ratios import reference_makespan
+
+        # Only the instance is needed; never pay for the spec's solver here.
+        spec, instance = _build_instance_from_spec(task.spec_json)
+        t0 = time.perf_counter()
+        reference, kind = reference_makespan(instance, exact_limit=spec.exact_limit)
+        return SpecTaskOutcome(
+            spec_index=task.spec_index,
+            kind="reference",
+            reference=float(reference),
+            reference_kind=kind,
+            elapsed_s=time.perf_counter() - t0,
+        )
+    raise ValueError(f"unknown spec task kind {task.kind!r}")
+
+
+def _clear_worker_caches() -> None:
+    """Testing hook: drop the per-process spec build caches."""
+    _build_from_spec.cache_clear()
+    _build_instance_from_spec.cache_clear()

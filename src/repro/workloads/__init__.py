@@ -2,6 +2,7 @@
 
 from .generators import (
     chains_dag,
+    diamond_dag,
     greedy_trap,
     in_tree_dag,
     layered_dag,
@@ -14,6 +15,7 @@ from .scenarios import grid_computing, project_management
 
 __all__ = [
     "chains_dag",
+    "diamond_dag",
     "greedy_trap",
     "in_tree_dag",
     "layered_dag",

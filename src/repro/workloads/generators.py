@@ -8,7 +8,7 @@ All generators take an explicit RNG and are deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
@@ -24,10 +24,13 @@ __all__ = [
     "in_tree_dag",
     "mixed_forest_dag",
     "layered_dag",
+    "diamond_dag",
     "random_instance",
 ]
 
-ProbModel = Literal["uniform", "machine_speed", "specialist", "power_law", "sparse"]
+ProbModel = Literal[
+    "uniform", "machine_speed", "specialist", "power_law", "sparse", "heterogeneous"
+]
 
 
 def probability_matrix(
@@ -38,6 +41,7 @@ def probability_matrix(
     lo: float = 0.05,
     hi: float = 0.95,
     zero_fraction: float = 0.5,
+    speed_classes: Sequence[float] = (1.0, 0.5, 0.2),
 ) -> np.ndarray:
     """An ``(m, n)`` success-probability matrix under a named model.
 
@@ -52,6 +56,12 @@ def probability_matrix(
     * ``sparse`` — ``uniform`` but each entry is zeroed with probability
       ``zero_fraction``; a random machine per job is kept positive so the
       instance stays valid.
+    * ``heterogeneous`` — machines fall into discrete speed classes
+      (``speed_classes`` multipliers, e.g. fast/standard/slow) and
+      ``p_ij = clip(speed_i · difficulty_j, lo, hi)`` with per-job
+      difficulties ``U[lo, hi]``.  One machine is always pinned to the
+      fastest class so no job depends entirely on slow hardware — the
+      cluster-of-mixed-generations story the paper's grid scenario sketches.
     """
     rng = as_rng(rng)
     if m < 1 or n < 1:
@@ -80,6 +90,16 @@ def probability_matrix(
         for j in range(n):
             if p[:, j].max() <= 0.0:
                 p[int(rng.integers(0, m)), j] = rng.uniform(lo, hi)
+    elif model == "heterogeneous":
+        speeds = np.asarray(speed_classes, dtype=np.float64)
+        if speeds.size < 1 or np.any(speeds <= 0.0) or np.any(speeds > 1.0):
+            raise ValidationError("speed_classes must be multipliers in (0, 1]")
+        class_of = rng.integers(0, speeds.size, size=m)
+        # Pin one machine to the fastest class so every job has a machine
+        # with an unattenuated success probability.
+        class_of[int(rng.integers(0, m))] = int(np.argmax(speeds))
+        difficulty = rng.uniform(lo, hi, size=(1, n))
+        p = np.clip(speeds[class_of][:, None] * difficulty, lo, hi)
     else:
         raise ValidationError(f"unknown probability model {model!r}")
     return p
@@ -190,6 +210,51 @@ def layered_dag(
     return PrecedenceDAG(n, edges)
 
 
+def diamond_dag(
+    n: int,
+    width: int = 3,
+    rng: np.random.Generator | int | None = None,
+    jitter: bool = False,
+) -> PrecedenceDAG:
+    """A chain of series-parallel diamonds: fan-out to ``width``, fan-in, repeat.
+
+    Each block is ``source → {width parallel jobs} → sink``, and the sink
+    doubles as the next block's source — the classic map/reduce-round or
+    fork/join pipeline shape.  The family is interesting for scheduling
+    under uncertainty because the fan-in jobs serialize the whole pipeline:
+    a policy must finish *every* parallel job before the next round opens.
+    With ``jitter=True`` each block draws its own width from
+    ``U{1, ..., width}`` (irregular rounds); otherwise the construction is
+    deterministic and ``rng`` is unused.
+    """
+    rng = as_rng(rng)
+    if n < 1:
+        raise ValidationError("need n >= 1")
+    if width < 1:
+        raise ValidationError("need width >= 1")
+    edges: list[tuple[int, int]] = []
+    source, next_id = 0, 1
+    while next_id < n:
+        remaining = n - next_id
+        block_width = int(rng.integers(1, width + 1)) if jitter else width
+        w = min(block_width, remaining - 1)
+        if w < 1:
+            # Not enough jobs left for a fan-out + sink: finish as a chain.
+            edges.append((source, next_id))
+            source = next_id
+            next_id += 1
+            continue
+        mids = range(next_id, next_id + w)
+        next_id += w
+        sink = next_id
+        next_id += 1
+        for mid in mids:
+            edges.append((source, mid))
+            edges.append((mid, sink))
+        source = sink
+    return PrecedenceDAG(n, edges)
+
+
 def random_instance(
     n: int,
     m: int,
@@ -201,12 +266,13 @@ def random_instance(
     """One-stop generator: DAG kind × probability model.
 
     ``dag_kind``: ``independent`` / ``chains`` / ``out_tree`` / ``in_tree``
-    / ``mixed_forest`` / ``layered``.  Extra keyword arguments go to the
-    DAG generator (``num_chains``, ``max_children``, ...) or the
-    probability model (``lo``, ``hi``, ``zero_fraction``).
+    / ``mixed_forest`` / ``layered`` / ``diamond``.  Extra keyword
+    arguments go to the DAG generator (``num_chains``, ``max_children``,
+    ``width``, ...) or the probability model (``lo``, ``hi``,
+    ``zero_fraction``, ``speed_classes``).
     """
     rng = as_rng(rng)
-    prob_keys = {"lo", "hi", "zero_fraction"}
+    prob_keys = {"lo", "hi", "zero_fraction", "speed_classes"}
     p_kwargs = {k: v for k, v in kwargs.items() if k in prob_keys}
     d_kwargs = {k: v for k, v in kwargs.items() if k not in prob_keys}
     if dag_kind == "independent":
@@ -223,6 +289,8 @@ def random_instance(
     elif dag_kind == "layered":
         d_kwargs.setdefault("layers", max(1, n // 5))
         dag = layered_dag(n, rng=rng, **d_kwargs)
+    elif dag_kind == "diamond":
+        dag = diamond_dag(n, rng=rng, **d_kwargs)
     else:
         raise ValidationError(f"unknown dag_kind {dag_kind!r}")
     p = probability_matrix(m, n, model=prob_model, rng=rng, **p_kwargs)

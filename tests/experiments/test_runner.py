@@ -6,8 +6,9 @@ import json
 
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, StaleCacheWarning
 from repro.experiments import (
+    RESULT_SCHEMA_VERSION,
     ExperimentResult,
     ExperimentSpec,
     get_suite,
@@ -15,6 +16,7 @@ from repro.experiments import (
     run_suite,
     suite_names,
 )
+from repro.parallel import ProcessExecutor
 
 
 def _tiny_spec(**overrides) -> ExperimentSpec:
@@ -86,6 +88,130 @@ class TestRunExperiment:
         assert "guarantee" in res.certificates
 
 
+class TestResultSchemaVersion:
+    def test_to_dict_carries_version(self):
+        res = run_experiment(_tiny_spec(), cache_dir=None)
+        assert res.to_dict()["schema_version"] == RESULT_SCHEMA_VERSION
+
+    def test_from_dict_rejects_other_versions(self):
+        data = run_experiment(_tiny_spec(), cache_dir=None).to_dict()
+        data["schema_version"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ExperimentError, match="schema_version"):
+            ExperimentResult.from_dict(data)
+        data.pop("schema_version")  # pre-versioned entries are stale too
+        with pytest.raises(ExperimentError, match="schema_version"):
+            ExperimentResult.from_dict(data)
+
+    def test_stale_cache_entry_warns_and_recomputes(self, tmp_path):
+        spec = _tiny_spec()
+        first = run_experiment(spec, cache_dir=tmp_path)
+        (entry,) = tmp_path.glob("*.json")
+        data = json.loads(entry.read_text())
+        data["schema_version"] = RESULT_SCHEMA_VERSION - 1
+        data["mean"] = -1.0  # poison: silent reuse would surface this
+        entry.write_text(json.dumps(data))
+        with pytest.warns(StaleCacheWarning):
+            res = run_experiment(spec, cache_dir=tmp_path)
+        assert not res.cache_hit
+        assert res.mean == first.mean
+        # the entry was upgraded in place
+        assert json.loads(entry.read_text())["schema_version"] == RESULT_SCHEMA_VERSION
+
+
+class TestParallelExecution:
+    def test_process_suite_matches_serial(self, tmp_path):
+        specs = [
+            _tiny_spec(reps=60, sim_seed=1),
+            _tiny_spec(algorithm="lp", reps=60, sim_seed=2),
+            _tiny_spec(compute_reference=True, exact_limit=0, reps=60, sim_seed=3),
+        ]
+        serial = run_suite(specs, cache_dir=None)
+        with ProcessExecutor(workers=2) as exe:
+            parallel = run_suite(specs, cache_dir=None, executor=exe)
+        for s, p in zip(serial, parallel):
+            assert (s.mean, s.std_err, s.min, s.max, s.truncated) == (
+                p.mean,
+                p.std_err,
+                p.min,
+                p.max,
+                p.truncated,
+            )
+            assert s.ratio == p.ratio
+            assert s.engine_used == p.engine_used
+            assert s.certificates == p.certificates
+
+    def test_process_progress_called_per_spec(self, tmp_path):
+        specs = [_tiny_spec(sim_seed=s) for s in (1, 2, 3)]
+        seen = []
+        with ProcessExecutor(workers=2) as exe:
+            run_suite(
+                specs,
+                cache_dir=None,
+                executor=exe,
+                progress=lambda spec, res: seen.append(spec.sim_seed),
+            )
+        assert sorted(seen) == [1, 2, 3]
+
+    def test_corrupt_reference_partial_is_a_miss(self, tmp_path):
+        from repro.experiments.runner import _reference_cache_path
+
+        spec = _tiny_spec(compute_reference=True, exact_limit=0)
+        path = _reference_cache_path(tmp_path, spec.spec_hash())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Parseable but missing reference_kind/elapsed_s: must recompute,
+        # not crash.
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": RESULT_SCHEMA_VERSION,
+                    "spec_hash": spec.spec_hash(),
+                    "reference": 3.0,
+                }
+            )
+        )
+        res = run_experiment(spec, cache_dir=tmp_path)
+        assert res.reference is not None and res.reference_kind == "lower_bound"
+
+    def test_shard_partials_cached_and_reused(self, tmp_path):
+        # Replications shard at reps >= 50 (two shards of 25+).  Seed a
+        # poisoned partial for shard 0 into the shard cache: if the runner
+        # really reuses cached partials, the poison shows up in the merge.
+        from repro.experiments.runner import _shard_cache_path
+        from repro.parallel import PartialEstimate, make_shard_plan
+
+        spec = _tiny_spec(reps=50, sim_seed=5)
+        fresh = run_experiment(spec, cache_dir=None)
+        plan = make_shard_plan(spec.reps, spec.sim_seed)
+        assert plan.n_shards == 2
+        shard = plan.shards[0]
+        poison = PartialEstimate.from_samples([1000.0] * shard.reps)
+        path = _shard_cache_path(tmp_path, spec.spec_hash(), shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": RESULT_SCHEMA_VERSION,
+                    "spec_hash": spec.spec_hash(),
+                    "shard_index": shard.index,
+                    "n_shards": shard.n_shards,
+                    "partial": poison.to_dict(),
+                    "engine_used": "batched",
+                    "algorithm": "poisoned",
+                    "certificates": {},
+                    "elapsed_s": 0.0,
+                }
+            )
+        )
+        res = run_experiment(spec, cache_dir=tmp_path)
+        assert res.mean > fresh.mean  # shard 0 came from the poisoned cache
+        assert res.max == 1000.0
+        # partials are cleaned up once the spec-level entry is written
+        assert not path.exists()
+        # force=True ignores the shard cache (file is gone anyway)
+        forced = run_experiment(spec, cache_dir=tmp_path, force=True)
+        assert forced.mean == fresh.mean
+
+
 class TestRunSuite:
     def test_progress_callback(self, tmp_path):
         seen = []
@@ -103,7 +229,17 @@ class TestSuites:
         with pytest.raises(ExperimentError):
             get_suite("imaginary")
 
-    @pytest.mark.parametrize("name", ["smoke", "adaptivity_gap", "adaptive_ratio", "oblivious_ratio", "scenarios"])
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "smoke",
+            "adaptivity_gap",
+            "adaptive_ratio",
+            "oblivious_ratio",
+            "scenarios",
+            "families",
+        ],
+    )
     def test_builtin_suites_wellformed(self, name):
         specs = get_suite(name)
         assert specs

@@ -1,0 +1,122 @@
+"""Tests for repro.parallel.executor."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    default_workers,
+    get_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestResolution:
+    def test_default_is_serial(self):
+        assert get_executor().name == "serial"
+        assert get_executor(None, workers=1).name == "serial"
+
+    def test_workers_above_one_selects_process(self):
+        exe = get_executor(None, workers=3)
+        assert exe.name == "process" and exe.workers == 3
+
+    def test_explicit_names(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+
+    def test_instance_passthrough(self):
+        exe = SerialExecutor()
+        assert get_executor(exe) is exe
+
+    def test_conflicts_rejected(self):
+        with pytest.raises(ValidationError):
+            get_executor("serial", workers=4)
+        with pytest.raises(ValidationError):
+            get_executor(None, workers=0)
+        with pytest.raises(ValidationError):
+            get_executor("process", workers=-4)
+        with pytest.raises(ValidationError):
+            get_executor(SerialExecutor(), workers=4)
+        with pytest.raises(ValidationError):
+            get_executor("threads")
+        with pytest.raises(ValidationError):
+            ProcessExecutor(workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_process_defaults_to_cpu_count(self):
+        assert ProcessExecutor().workers == default_workers()
+
+
+class TestSerialExecutor:
+    def test_ordered_results_and_progress(self):
+        seen = []
+        exe = SerialExecutor()
+        out = exe.map_tasks(_square, [3, 1, 2], progress=lambda i, r: seen.append((i, r)))
+        assert out == [9, 1, 4]
+        assert seen == [(0, 9), (1, 1), (2, 4)]
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="task 1 failed"):
+            SerialExecutor().map_tasks(_boom, [1])
+
+    def test_context_manager(self):
+        with SerialExecutor() as exe:
+            assert isinstance(exe, Executor)
+            assert exe.map_tasks(_square, []) == []
+
+
+class TestProcessExecutor:
+    def test_results_in_submission_order(self):
+        with ProcessExecutor(workers=2) as exe:
+            assert exe.map_tasks(_square, list(range(8))) == [x * x for x in range(8)]
+
+    def test_pool_reused_across_calls(self):
+        with ProcessExecutor(workers=2) as exe:
+            exe.map_tasks(_square, [1])
+            pool = exe._pool
+            exe.map_tasks(_square, [2])
+            assert exe._pool is pool
+
+    def test_worker_exception_propagates(self):
+        with ProcessExecutor(workers=2) as exe:
+            with pytest.raises(RuntimeError, match="task 3 failed"):
+                exe.map_tasks(_boom, [3])
+
+    def test_progress_receives_every_task(self):
+        seen = {}
+        with ProcessExecutor(workers=2) as exe:
+            exe.map_tasks(_square, [5, 6], progress=lambda i, r: seen.__setitem__(i, r))
+        assert seen == {0: 25, 1: 36}
+
+    def test_tasks_really_run_out_of_process(self):
+        with ProcessExecutor(workers=1) as exe:
+            (pid,) = exe.map_tasks(_pid, [0])
+        assert pid != os.getpid()
+
+    def test_close_idempotent(self):
+        exe = ProcessExecutor(workers=1)
+        exe.map_tasks(_square, [1])
+        exe.close()
+        exe.close()
+        # A closed executor builds a fresh pool on demand.
+        assert exe.map_tasks(_square, [4]) == [16]
+        exe.close()
+
+
+def _pid(_):
+    return os.getpid()

@@ -122,6 +122,46 @@ class TestRunExperiments:
         )
         assert "hit" in capsys.readouterr().out
 
+    def test_workers_flag_process_executor(self, tmp_path, capsys):
+        # The same suite through the process backend: must succeed and
+        # produce the same numbers the serial path caches (worker-count
+        # invariance — the second run is a pure cache hit).
+        assert (
+            main(
+                [
+                    "run-experiments",
+                    "--smoke",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "executor: process x 2 workers" in captured.err
+        assert (
+            main(["run-experiments", "--smoke", "--cache-dir", str(tmp_path)]) == 0
+        )
+        assert "hit" in capsys.readouterr().out
+
+    def test_conflicting_executor_flags_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(
+                [
+                    "run-experiments",
+                    "--smoke",
+                    "--no-cache",
+                    "--executor",
+                    "serial",
+                    "--workers",
+                    "4",
+                ]
+            )
+
     def test_json_output(self, tmp_path, capsys):
         target = tmp_path / "results.json"
         assert (

@@ -8,6 +8,7 @@ import pytest
 from repro import DagClass, ValidationError
 from repro.workloads import (
     chains_dag,
+    diamond_dag,
     in_tree_dag,
     layered_dag,
     mixed_forest_dag,
@@ -19,7 +20,8 @@ from repro.workloads import (
 
 class TestProbabilityMatrix:
     @pytest.mark.parametrize(
-        "model", ["uniform", "machine_speed", "specialist", "power_law", "sparse"]
+        "model",
+        ["uniform", "machine_speed", "specialist", "power_law", "sparse", "heterogeneous"],
     )
     def test_valid_matrices(self, model):
         p = probability_matrix(5, 12, model=model, rng=0)
@@ -52,6 +54,36 @@ class TestProbabilityMatrix:
     def test_rejects_unknown_model(self):
         with pytest.raises(ValidationError):
             probability_matrix(2, 2, model="magic")
+
+    def test_heterogeneous_rows_share_speed_structure(self):
+        # p_ij = clip(speed_i * difficulty_j): with clipping disabled by a
+        # wide range, rows of equal speed class are exact multiples of the
+        # shared difficulty vector.
+        p = probability_matrix(
+            8, 30, model="heterogeneous", rng=3, lo=1e-6, hi=1.0,
+            speed_classes=(1.0, 0.5),
+        )
+        scale = p.max(axis=1)  # per-row speed * max difficulty
+        ratio = p / p[np.argmax(scale)][None, :]
+        # Every row is a constant multiple of the fastest row.
+        assert np.allclose(ratio, ratio[:, :1])
+        assert set(np.round(np.unique(ratio[:, 0]), 6)) <= {0.5, 1.0}
+
+    def test_heterogeneous_has_a_fast_machine(self):
+        for seed in range(5):
+            p = probability_matrix(
+                6, 10, model="heterogeneous", rng=seed, lo=0.05, hi=0.9,
+                speed_classes=(1.0, 0.3, 0.1),
+            )
+            # The pinned fastest machine carries the unattenuated difficulty
+            # vector, so the matrix maximum sits in the U[lo, hi] range top.
+            assert p.max() > 0.3
+
+    def test_heterogeneous_rejects_bad_classes(self):
+        with pytest.raises(ValidationError):
+            probability_matrix(3, 4, model="heterogeneous", speed_classes=(1.5,))
+        with pytest.raises(ValidationError):
+            probability_matrix(3, 4, model="heterogeneous", speed_classes=())
 
 
 class TestDagGenerators:
@@ -94,6 +126,42 @@ class TestDagGenerators:
         assert dag.n == 30
         dag.topological_order()  # no cycle
 
+    def test_diamond_block_structure(self):
+        # n=6, width=4: 0 -> {1..4} -> 5, one full diamond.
+        dag = diamond_dag(6, width=4)
+        assert sorted(dag.successors(0)) == [1, 2, 3, 4]
+        assert sorted(dag.predecessors(5)) == [1, 2, 3, 4]
+        dag.topological_order()  # no cycle
+
+    def test_diamond_chains_blocks(self):
+        # Repeated fan-out/fan-in: every sink is the next source, so the
+        # DAG has exactly one source and one sink and depth grows with n.
+        dag = diamond_dag(14, width=2)
+        assert len(dag.sources()) == 1
+        assert len(dag.sinks()) == 1
+        assert int(dag.out_degrees.max()) == 2
+
+    def test_diamond_tail_degenerates_to_chain(self):
+        # Too few jobs for a fan-out + sink: the remainder is a chain.
+        dag = diamond_dag(3, width=5)
+        assert dag.num_edges == 2
+        assert len(dag.sources()) == 1 and len(dag.sinks()) == 1
+
+    def test_diamond_deterministic_without_jitter(self):
+        assert diamond_dag(12, width=3, rng=0).edges == diamond_dag(12, width=3, rng=99).edges
+
+    def test_diamond_jitter_seeded(self):
+        a = diamond_dag(20, width=4, rng=5, jitter=True)
+        b = diamond_dag(20, width=4, rng=5, jitter=True)
+        assert a.edges == b.edges
+        a.topological_order()
+
+    def test_diamond_validation(self):
+        with pytest.raises(ValidationError):
+            diamond_dag(0)
+        with pytest.raises(ValidationError):
+            diamond_dag(5, width=0)
+
 
 class TestRandomInstance:
     @pytest.mark.parametrize(
@@ -117,6 +185,19 @@ class TestRandomInstance:
         inst = random_instance(10, 3, dag_kind="chains", num_chains=2, lo=0.3, hi=0.5, rng=2)
         pos = inst.p[inst.p > 0]
         assert pos.min() >= 0.3 - 1e-12
+
+    def test_diamond_kind(self):
+        inst = random_instance(11, 4, dag_kind="diamond", width=3, rng=5)
+        assert inst.n == 11 and inst.m == 4
+        assert len(inst.dag.sources()) == 1
+        assert int(inst.dag.out_degrees.max()) <= 3
+
+    def test_heterogeneous_model_kind(self):
+        inst = random_instance(
+            10, 5, prob_model="heterogeneous", speed_classes=(1.0, 0.4), rng=6
+        )
+        assert inst.p.shape == (5, 10)
+        assert np.all(inst.p.max(axis=0) > 0)
 
     def test_unknown_kind(self):
         with pytest.raises(ValidationError):
