@@ -9,6 +9,7 @@ Subcommands
 ``gantt``            render a schedule (or a fresh solve) as an ASCII Gantt chart
 ``demo``             end-to-end demonstration on a built-in scenario
 ``run-experiments``  run a named experiment suite through the cached runner
+``fuzz``             differential cross-engine verification (repro.verify)
 """
 
 from __future__ import annotations
@@ -145,6 +146,39 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical either way — only wall-clock changes",
     )
     e.add_argument("--json", type=Path, help="also write all results to this JSON file")
+
+    f = sub.add_parser(
+        "fuzz",
+        help="differential verification: cross-check every simulation engine "
+        "against the others and the analytic oracles on random cases",
+    )
+    f.add_argument(
+        "--budget", type=int, default=100, help="maximum number of fuzz cases"
+    )
+    f.add_argument("--seed", type=int, default=0, help="campaign seed (fully determinizes the run)")
+    f.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds (stops early; for CI smoke jobs)",
+    )
+    f.add_argument("--max-jobs", type=int, default=12)
+    f.add_argument("--max-machines", type=int, default=4)
+    f.add_argument(
+        "--reps", type=int, default=240, help="Monte Carlo replications per engine route"
+    )
+    f.add_argument(
+        "--save-failures",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record minimized failures as corpus entries in DIR "
+        "(e.g. tests/corpus)",
+    )
+    f.add_argument(
+        "--no-shrink", action="store_true", help="skip minimization of failures"
+    )
+    f.add_argument("--quiet", action="store_true", help="suppress per-case progress")
     return parser
 
 
@@ -344,6 +378,42 @@ def _run_suites(names, args, cache_dir, executor) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .verify import CheckConfig, run_fuzz
+
+    cfg = CheckConfig(reps=args.reps)
+
+    def progress(index, spec, discrepancies):
+        if args.quiet:
+            return
+        status = "ok" if not discrepancies else f"{len(discrepancies)} FAIL"
+        print(f"  case {index:4d}: {spec.family} × {spec.schedule} "
+              f"(n={spec.n}, m={spec.m}) ... {status}", file=sys.stderr, flush=True)
+
+    report = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        time_budget_s=args.time_budget,
+        cfg=cfg,
+        max_jobs=args.max_jobs,
+        max_machines=args.max_machines,
+        corpus_dir=args.save_failures,
+        progress=progress,
+        shrink=not args.no_shrink,
+    )
+    print(
+        f"fuzz: {report.cases_run} cases in {report.elapsed_s:.1f}s "
+        f"(seed {report.seed}): "
+        + ("all checks passed" if report.ok else f"{len(report.failures)} failure(s)")
+    )
+    for failure in report.failures:
+        print()
+        print(failure.describe())
+    if report.failures and args.save_failures:
+        print(f"\nminimized reproducers written to {args.save_failures}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -354,6 +424,7 @@ def main(argv: list[str] | None = None) -> int:
         "gantt": _cmd_gantt,
         "demo": _cmd_demo,
         "run-experiments": _cmd_run_experiments,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

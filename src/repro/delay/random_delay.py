@@ -41,7 +41,9 @@ class DelayOutcome:
 
     ``bands`` is the delayed pseudo-schedule; ``delays`` the per-chain
     shifts; ``max_collision`` the achieved congestion; ``attempts`` how
-    many samples the retry loop used (1 for the first success).
+    many delay samples the retry loop drew in total (1 for a first-try
+    success; ``max_attempts`` when the budget was exhausted, in which case
+    the best outcome seen is returned even if it was sampled earlier).
     """
 
     bands: ChainBands
@@ -114,6 +116,8 @@ def find_good_delays(
     best: DelayOutcome | None = None
     num_chains = len(bands.bands)
     for attempt in range(1, max_attempts + 1):
+        # A fresh independent sample every attempt: the whp guarantee is
+        # per-draw, so re-testing a stale sample would never terminate.
         delays = sample_delays(num_chains, window, rng, grid=grid)
         delayed = bands.with_delays(delays)
         collision = delayed.to_pseudo().max_collision()
@@ -125,11 +129,12 @@ def find_good_delays(
             window=window,
             target=target,
         )
+        if collision <= target:
+            return outcome
         if best is None or collision < best.max_collision:
             best = outcome
-            best.attempts = attempt
-        if collision <= target:
-            best.attempts = attempt
-            return best
     assert best is not None
+    # Budget exhausted: report the true number of samples drawn, not the
+    # attempt at which the best (still-above-target) outcome was found.
+    best.attempts = max_attempts
     return best

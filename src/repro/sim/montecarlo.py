@@ -22,7 +22,7 @@ from .._util import as_rng
 from ..core.instance import SUUInstance
 from ..core.mass import assignment_success_prob
 from ..core.schedule import CyclicSchedule, ObliviousSchedule
-from ..errors import CensoredEstimateWarning, SimulationLimitError
+from ..errors import CensoredEstimateWarning, SimulationLimitError, ValidationError
 from .batch import batchable, simulate_batch
 from .engine import DEFAULT_MAX_STEPS, simulate
 
@@ -283,13 +283,22 @@ def completion_curve(
 
     Returns an array of length ``max_steps``; useful for plotting the
     completion CDF of competing schedules.
+
+    Replications censored at the step budget are *not done* at any
+    ``t <= max_steps`` — their samples sit at ``max_steps`` only because
+    that is where observation stopped — so the final point reports the
+    finished fraction, not 1.0.  (A run that genuinely finishes in step
+    ``max_steps`` still counts there; the two are distinguished by the
+    estimate's ``truncated`` counter, which only covers unfinished runs.)
     """
+    if max_steps < 1:
+        raise ValidationError("completion_curve needs max_steps >= 1")
     rng = as_rng(rng)
     est = estimate_makespan(
         instance, schedule, reps=reps, rng=rng, max_steps=max_steps, keep_samples=True
     )
     assert est.samples is not None
-    curve = np.zeros(max_steps, dtype=np.float64)
-    for t in range(1, max_steps + 1):
-        curve[t - 1] = float((est.samples <= t).mean())
-    return curve
+    # counts[t] = number of replications with makespan exactly t (1-based).
+    counts = np.bincount(est.samples, minlength=max_steps + 1)[1:]
+    counts[max_steps - 1] -= est.truncated
+    return np.cumsum(counts, dtype=np.float64) / reps

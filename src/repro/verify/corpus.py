@@ -1,0 +1,112 @@
+"""The replayable regression corpus (``tests/corpus/``).
+
+Every discrepancy the fuzzer ever surfaced — and every bug fixed after a
+manual audit — is pinned as a JSON corpus entry: the minimized case spec,
+the oracle that caught it, and provenance.  Tier-1 pytest replays the
+whole corpus through the oracle suite, so a fixed bug cannot silently
+regress and a *new* failure on an old case is flagged immediately.
+
+Entry schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "name": "...",            # file stem, unique
+      "case": { CaseSpec.to_dict() },
+      "check": "engines",       # oracle that originally failed
+      "message": "...",         # the discrepancy at discovery time
+      "status": "fixed",        # "fixed" (replay must pass) | "open"
+      "notes": "..."            # what was wrong / what fixed it
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ValidationError
+from .cases import CaseSpec
+from .oracles import CheckConfig, Discrepancy, check_case
+
+__all__ = ["CORPUS_DIR", "CorpusEntry", "load_corpus", "save_entry", "replay_entry"]
+
+SCHEMA_VERSION = 1
+
+#: Default corpus location, resolved relative to the repo root when run
+#: from a checkout; CLI callers can point elsewhere.
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One pinned regression case."""
+
+    name: str
+    case: CaseSpec
+    check: str
+    message: str
+    status: str = "fixed"
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "case": self.case.to_dict(),
+            "check": self.check,
+            "message": self.message,
+            "status": self.status,
+            "notes": self.notes,
+            **({"extra": self.extra} if self.extra else {}),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        version = int(data.get("schema_version", 0))
+        if version != SCHEMA_VERSION:
+            raise ValidationError(
+                f"corpus entry {data.get('name')!r} has schema version "
+                f"{version}, expected {SCHEMA_VERSION}"
+            )
+        return cls(
+            name=str(data["name"]),
+            case=CaseSpec.from_dict(data["case"]),
+            check=str(data["check"]),
+            message=str(data.get("message", "")),
+            status=str(data.get("status", "fixed")),
+            notes=str(data.get("notes", "")),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+def load_corpus(directory: Path | str | None = None) -> list[CorpusEntry]:
+    """Load all ``*.json`` corpus entries, sorted by name."""
+    directory = Path(directory) if directory is not None else CORPUS_DIR
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        entries.append(CorpusEntry.from_dict(json.loads(path.read_text())))
+    return entries
+
+
+def save_entry(entry: CorpusEntry, directory: Path | str | None = None) -> Path:
+    """Write an entry as ``<name>.json`` (pretty-printed, newline-terminated)."""
+    directory = Path(directory) if directory is not None else CORPUS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def replay_entry(
+    entry: CorpusEntry, cfg: CheckConfig | None = None
+) -> list[Discrepancy]:
+    """Re-run the full oracle suite on a corpus entry's case.
+
+    For ``status == "fixed"`` entries an empty result is the expected
+    outcome; anything else is a regression.
+    """
+    return check_case(entry.case, cfg=cfg)

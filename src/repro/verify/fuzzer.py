@@ -1,0 +1,139 @@
+"""The budgeted differential fuzz loop (``python -m repro fuzz``).
+
+Draws random case specs (every workload family × schedule family), runs
+the full oracle suite on each, and — on failure — shrinks the case to a
+minimal reproducer.  The loop is bounded by a case budget *and* a wall-
+clock budget, whichever runs out first, so it is safe in CI.
+
+The whole campaign is a pure function of ``seed``: case generation,
+simulation streams, and shrinking all derive from it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from .cases import CaseSpec, sample_case
+from .corpus import CorpusEntry, save_entry
+from .oracles import CheckConfig, Discrepancy, check_case
+from .shrink import shrink_case
+
+__all__ = ["FuzzFailure", "FuzzReport", "run_fuzz"]
+
+
+@dataclass
+class FuzzFailure:
+    """One discrepancy, with its original and minimized reproducers."""
+
+    original: CaseSpec
+    minimized: CaseSpec
+    check: str
+    message: str
+    shrink_steps: int
+
+    def describe(self) -> str:
+        lines = [
+            f"check   : {self.check}",
+            f"message : {self.message}",
+            f"original: {self.original.describe()}",
+            f"shrunk  : {self.minimized.describe()} ({self.shrink_steps} steps)",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz campaign."""
+
+    seed: int
+    cases_run: int
+    elapsed_s: float
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_fuzz(
+    budget: int = 100,
+    seed: int = 0,
+    time_budget_s: float | None = None,
+    cfg: CheckConfig | None = None,
+    max_jobs: int = 12,
+    max_machines: int = 4,
+    corpus_dir: Path | str | None = None,
+    progress: Callable[[int, CaseSpec, list[Discrepancy]], None] | None = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Run up to ``budget`` random cases (or until ``time_budget_s``).
+
+    Parameters
+    ----------
+    corpus_dir:
+        When given, every minimized failure is appended there as an
+        ``"open"`` corpus entry named ``fuzz-<seed>-<case index>`` —
+        the triage workflow is to fix the bug, flip the entry's status to
+        ``"fixed"``, and let tier-1 replay pin it forever.
+    progress:
+        Optional per-case callback ``(index, spec, discrepancies)``.
+    shrink:
+        Disable only when reproducing a known failure quickly.
+    """
+    cfg = cfg or CheckConfig()
+    rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    report = FuzzReport(seed=seed, cases_run=0, elapsed_s=0.0)
+    for index in range(budget):
+        if time_budget_s is not None and time.perf_counter() - t0 >= time_budget_s:
+            break
+        spec = sample_case(
+            rng,
+            max_jobs=max_jobs,
+            max_machines=max_machines,
+            exact_opt_jobs=cfg.exact_opt_jobs,
+        )
+        discrepancies = check_case(spec, cfg=cfg)
+        report.cases_run += 1
+        if progress is not None:
+            progress(index, spec, discrepancies)
+        # One shrink (and one corpus entry) per *failing oracle*: a broken
+        # engine typically yields several discrepancies from the same
+        # check, which would otherwise repeat the whole shrink campaign
+        # and overwrite each other's corpus entries.
+        by_check: dict[str, list[Discrepancy]] = {}
+        for disc in discrepancies:
+            by_check.setdefault(disc.check, []).append(disc)
+        for check, discs in by_check.items():
+            message = "; ".join(d.message for d in discs)
+            minimized, steps = spec, 0
+            if shrink:
+                result = shrink_case(spec, check, cfg=cfg)
+                if result.discrepancies:
+                    minimized, steps = result.spec, result.steps
+            failure = FuzzFailure(
+                original=spec,
+                minimized=minimized,
+                check=check,
+                message=message,
+                shrink_steps=steps,
+            )
+            report.failures.append(failure)
+            if corpus_dir is not None:
+                entry = CorpusEntry(
+                    name=f"fuzz-{seed}-{index}-{check}",
+                    case=minimized,
+                    check=check,
+                    message=message,
+                    status="open",
+                    notes="auto-recorded by run_fuzz; fix the bug and flip "
+                    "status to 'fixed'",
+                )
+                save_entry(entry, corpus_dir)
+    report.elapsed_s = time.perf_counter() - t0
+    return report

@@ -1,0 +1,135 @@
+"""Greedy minimization of failing fuzz cases.
+
+Given a spec that fails some oracle, repeatedly try "smaller" variants —
+fewer jobs, fewer machines, a sparser DAG family, a simpler probability
+model, coarser probabilities — keeping a variant whenever it still fails
+the *same* check.  The result is the smallest spec (under the candidate
+moves) that reproduces the failure, which is what lands in the corpus.
+
+Shrinking re-runs the full deterministic check for the failing oracle on
+every candidate, so a minimized case is a verified reproducer by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .cases import CaseSpec
+from .oracles import CheckConfig, Discrepancy, check_case
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    spec: CaseSpec
+    discrepancies: list[Discrepancy]
+    steps: int
+    candidates_tried: int
+
+
+def _size(spec: CaseSpec) -> tuple:
+    """Lexicographic size used to ensure shrinking always makes progress."""
+    dag_kind, _, prob_model = spec.family.partition("/")
+    return (
+        spec.n,
+        spec.m,
+        0 if dag_kind == "independent" else 1,
+        0 if prob_model == "uniform" else 1,
+        # Coarsening ladder: off (0) > 1/8 grid (3) > 1/4 (2) > 1/2 (1).
+        spec.coarse if spec.coarse else 4,
+        len(spec.params),
+    )
+
+
+def _candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    """Strictly-smaller variants of ``spec``, most aggressive first."""
+    # Fewer jobs: halve, then decrement.
+    for n in {spec.n // 2, spec.n - 1}:
+        if 1 <= n < spec.n:
+            yield spec.with_(n=n, params=_trim_params(spec.params, n))
+    # Fewer machines.
+    for m in {spec.m // 2, spec.m - 1}:
+        if 1 <= m < spec.m:
+            yield spec.with_(m=m)
+    dag_kind, _, prob_model = spec.family.partition("/")
+    # Sparser DAG: any structured family → independent (no edges).
+    if prob_model and dag_kind != "independent":
+        yield spec.with_(family=f"independent/{prob_model}", params={})
+    # Scenario families reduce to a plain random family of the same shape.
+    if spec.family in ("grid", "project", "greedy_trap"):
+        yield spec.with_(family="independent/uniform", params={})
+    # Simpler probability model.
+    if prob_model and prob_model != "uniform":
+        yield spec.with_(family=f"{dag_kind}/uniform")
+    # Coarser probabilities (quantize to 1/2, 1/4, 1/8 grids).
+    if spec.coarse == 0 or spec.coarse > 1:
+        yield spec.with_(coarse=max(1, spec.coarse - 1) if spec.coarse else 3)
+    # Drop leftover generator params one at a time.
+    for key in spec.params:
+        trimmed = {k: v for k, v in spec.params.items() if k != key}
+        yield spec.with_(params=trimmed)
+
+
+def _trim_params(params: dict, n: int) -> dict:
+    """Clamp size-coupled generator params when the job count drops."""
+    out = dict(params)
+    for key in ("num_chains", "layers"):
+        if key in out:
+            out[key] = min(int(out[key]), n)
+    return out
+
+
+def shrink_case(
+    spec: CaseSpec,
+    check: str,
+    cfg: CheckConfig | None = None,
+    max_steps: int = 48,
+    still_fails: Callable[[CaseSpec], list[Discrepancy]] | None = None,
+) -> ShrinkResult:
+    """Minimize ``spec`` while it keeps failing oracle ``check``.
+
+    ``still_fails`` defaults to re-running the named check through
+    :func:`~repro.verify.oracles.check_case`; tests inject synthetic
+    predicates to exercise the loop in isolation.
+    """
+    cfg = cfg or CheckConfig()
+    if still_fails is None:
+
+        def still_fails(candidate: CaseSpec) -> list[Discrepancy]:
+            # Keep only discrepancies of the oracle being shrunk: a
+            # candidate that merely fails to *build* (check "build") must
+            # not count as reproducing an "engines" failure.
+            found = check_case(candidate, cfg=cfg, only=check)
+            return [d for d in found if d.check == check]
+
+    current = spec
+    current_fails = still_fails(current)
+    if not current_fails:
+        return ShrinkResult(spec=spec, discrepancies=[], steps=0, candidates_tried=0)
+    steps = 0
+    tried = 0
+    for _ in range(max_steps):
+        improved = False
+        for candidate in _candidates(current):
+            if _size(candidate) >= _size(current):
+                continue
+            tried += 1
+            fails = still_fails(candidate)
+            if fails:
+                current, current_fails = candidate, fails
+                steps += 1
+                improved = True
+                break
+        if not improved:
+            break
+    return ShrinkResult(
+        spec=current,
+        discrepancies=current_fails,
+        steps=steps,
+        candidates_tried=tried,
+    )

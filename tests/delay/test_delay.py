@@ -91,6 +91,48 @@ class TestFindGoodDelays:
         o2 = find_good_delays(bands, rng=5)
         assert o1.delays == o2.delays
 
+    def two_chain_bands(self):
+        """Two single-job chains on one machine: delays in {0,1} collide iff equal."""
+        w0 = JobWindow(job=0, start=0, length=1, machine_units=((0, 1),))
+        w1 = JobWindow(job=1, start=0, length=1, machine_units=((0, 1),))
+        return ChainBands(1, [ChainBand(0, (w0,)), ChainBand(1, (w1,))])
+
+    def test_second_attempt_draws_fresh_delays(self):
+        # Seed 0: first draw is [1, 1] (collision 2 > target), second is
+        # [1, 0] (collision 1).  The loop must re-sample from the same rng
+        # stream, succeed on attempt 2, and report attempts == 2.
+        bands = self.two_chain_bands()
+        outcome = find_good_delays(bands, window=1, target=1, rng=0)
+        assert outcome.attempts == 2
+        assert outcome.max_collision == 1
+        assert outcome.delays == [1, 0]
+        # The returned delays are exactly the *second* draw of the stream —
+        # i.e. attempt 2 did not reuse the stale first sample.
+        replay = np.random.default_rng(0)
+        sample_delays(2, 1, replay)  # discard attempt 1
+        assert outcome.delays == sample_delays(2, 1, replay)
+
+    def test_exhaustion_reports_total_samples_drawn(self):
+        # window=0 forces identical zero delays every attempt, so the
+        # target is unreachable and the budget is exhausted; `attempts`
+        # must report the total number of samples drawn (the budget), not
+        # the attempt index at which the best outcome happened to appear.
+        bands = self.two_chain_bands()
+        outcome = find_good_delays(bands, window=0, target=1, rng=3, max_attempts=7)
+        assert outcome.max_collision == 2
+        assert outcome.attempts == 7
+
+    def test_first_try_success_reports_one(self):
+        bands = self.two_chain_bands()
+        # Seed 1's first draw of two delays from {0, 1} must not collide
+        # for this test to exercise the first-try path; assert it.
+        replay = np.random.default_rng(1)
+        first = sample_delays(2, 1, replay)
+        assert first[0] != first[1]
+        outcome = find_good_delays(bands, window=1, target=1, rng=1)
+        assert outcome.attempts == 1
+        assert outcome.delays == first
+
 
 class TestDerandomized:
     def test_beats_or_matches_target(self):

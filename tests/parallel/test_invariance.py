@@ -132,6 +132,52 @@ class TestCensoringAndErrors:
         # One merged warning, not one per shard.
         assert len(record) == 1
 
+    def test_single_shard_truncation_warns_with_merged_count(self):
+        """Censoring on only one shard must still surface after the merge.
+
+        Workers silence the per-shard CensoredEstimateWarning, so if the
+        merge path failed to re-emit it, a run whose censored replications
+        all fall in one shard would come back silently biased.  Seed 2
+        splits 40 reps into 2 shards where (verified below) only the
+        second shard truncates.
+        """
+        import warnings
+
+        from repro.algorithms.baselines import serial_baseline
+        from repro.parallel.sharding import make_shard_plan
+
+        inst = SUUInstance(np.array([[0.45]]), name="one-slow-job")
+        sched = serial_baseline(inst).schedule
+        reps, max_steps, seed = 40, 6, 2
+
+        # Establish the premise: per-shard runs truncate on exactly one shard.
+        per_shard = []
+        for shard in make_shard_plan(reps, seed, n_shards=2).shards:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", CensoredEstimateWarning)
+                part = estimate_makespan(
+                    inst, sched, reps=shard.reps, rng=shard.rng(), max_steps=max_steps
+                )
+            per_shard.append(part.truncated)
+        assert per_shard[0] == 0 and per_shard[1] > 0
+
+        with pytest.warns(CensoredEstimateWarning) as record:
+            est = estimate_makespan(
+                inst,
+                sched,
+                reps=reps,
+                rng=seed,
+                max_steps=max_steps,
+                executor="serial",
+                shards=2,
+            )
+        merged = sum(per_shard)
+        assert est.truncated == merged
+        assert len(record) == 1
+        # The warning text reports the *merged* count, exactly as the
+        # serial (unsharded) estimator would word it.
+        assert f"{merged}/{reps} replications were censored" in str(record[0].message)
+
     def test_require_finished_raises_after_merge(self):
         inst = SUUInstance(np.full((1, 2), 0.02), name="hopeless")
         sched = suu_i_oblivious(inst, PRACTICAL).schedule

@@ -148,3 +148,36 @@ class TestCompletionCurve:
         inst = geometric_instance(1.0)
         curve = completion_curve(inst, single_job_cycle(), reps=50, rng=4, max_steps=5)
         assert curve[0] == 1.0
+
+    def test_max_steps_below_one_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            completion_curve(geometric_instance(0.5), single_job_cycle(), max_steps=0)
+
+    def test_censored_runs_do_not_count_as_completed(self):
+        """Regression (corpus: curve-censored-tail).
+
+        Censored replications are recorded at ``max_steps``; the curve's
+        final point must report the *finished* fraction, not jump to 1.0
+        as if the budget-capped runs had completed there.
+        """
+        inst = geometric_instance(0.5)
+        reps, max_steps = 400, 4
+        with pytest.warns(CensoredEstimateWarning):
+            curve = completion_curve(
+                inst, single_job_cycle(), reps=reps, rng=11, max_steps=max_steps
+            )
+        est = estimate_makespan(
+            inst,
+            single_job_cycle(),
+            reps=reps,
+            rng=11,
+            max_steps=max_steps,
+            keep_samples=True,
+        )
+        assert est.truncated > 0
+        assert curve[-1] == pytest.approx((reps - est.truncated) / reps)
+        # Interior points agree with the raw samples.
+        for t in range(1, max_steps):
+            assert curve[t - 1] == pytest.approx(float((est.samples <= t).mean()))

@@ -1,0 +1,52 @@
+"""Tier-1 replay of the regression corpus (``tests/corpus/``).
+
+Every corpus entry pins a discrepancy the differential harness once
+caught (and that was then fixed).  Replaying the full oracle suite on
+each entry makes regressions loud: a fixed bug that resurfaces fails
+here with the original minimized reproducer.
+
+Entries with ``status: "open"`` are auto-recorded triage artifacts from
+``python -m repro fuzz --save-failures``; none may be committed — fix
+the bug and flip the status to ``"fixed"`` instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import CheckConfig, load_corpus
+from repro.verify.corpus import replay_entry
+
+# Resolve relative to this test file, not the package: the replay must
+# find the corpus even when `repro` is imported from an installed
+# location rather than the src/ checkout.
+ENTRIES = load_corpus(Path(__file__).parent / "corpus")
+
+#: Replay at moderate replication count: plenty for the deterministic
+#: exact checks that corpus bugs typically pin, fast enough for tier-1.
+REPLAY_CFG = CheckConfig(reps=240)
+
+
+def test_corpus_is_nonempty():
+    # The harness ships with at least the bugs fixed in its founding PR;
+    # an empty corpus means the loader is broken or the files went missing.
+    assert len(ENTRIES) >= 1
+
+
+def test_no_open_entries_committed():
+    open_entries = [e.name for e in ENTRIES if e.status != "fixed"]
+    assert not open_entries, (
+        f"corpus entries {open_entries} are still 'open': fix the bug and "
+        "flip their status to 'fixed'"
+    )
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_replays_clean(entry):
+    discrepancies = replay_entry(entry, cfg=REPLAY_CFG)
+    assert discrepancies == [], (
+        f"corpus entry {entry.name!r} (pinned: {entry.message}) regressed:\n"
+        + "\n".join(str(d) for d in discrepancies)
+    )

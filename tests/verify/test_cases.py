@@ -1,0 +1,126 @@
+"""Tests for repro.verify.cases — spec round-trips and deterministic builds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.verify import INSTANCE_FAMILIES, SCHEDULE_FAMILIES, CaseSpec, sample_case
+from repro.verify.cases import (
+    DAG_KINDS,
+    PROB_MODELS,
+    SCENARIO_FAMILIES,
+    build_case,
+    build_instance,
+)
+
+
+class TestFamilyRegistry:
+    def test_covers_every_dag_kind_and_prob_model(self):
+        # The fuzzer's coverage promise: every random_instance dag kind ×
+        # probability model, including diamond and heterogeneous.
+        for dag in DAG_KINDS:
+            for prob in PROB_MODELS:
+                assert f"{dag}/{prob}" in INSTANCE_FAMILIES
+        assert "diamond/heterogeneous" in INSTANCE_FAMILIES
+        for scenario in SCENARIO_FAMILIES:
+            assert scenario in INSTANCE_FAMILIES
+
+    def test_in_sync_with_generator_registry(self):
+        # If a new dag kind / prob model is added to the generators, the
+        # fuzzer must learn about it (and vice versa).
+        from typing import get_args
+
+        from repro.workloads.generators import ProbModel, random_instance
+
+        assert set(PROB_MODELS) == set(get_args(ProbModel))
+        for dag in DAG_KINDS:
+            inst = random_instance(4, 2, dag_kind=dag, rng=0)
+            assert inst.n == 4
+
+
+class TestCaseSpec:
+    def test_json_round_trip(self):
+        spec = CaseSpec(
+            family="diamond/heterogeneous",
+            schedule="greedy",
+            n=7,
+            m=3,
+            instance_seed=123,
+            sim_seed=456,
+            coarse=2,
+            max_steps=17,
+            params={"width": 2, "jitter": True},
+        )
+        assert CaseSpec.from_dict(spec.to_dict()) == spec
+
+    def test_describe_mentions_sizes(self):
+        spec = CaseSpec("grid", "serial", 6, 2, 1, 2)
+        text = spec.describe()
+        assert "grid" in text and "n=6" in text and "m=2" in text
+
+
+class TestBuildDeterminism:
+    @pytest.mark.parametrize("schedule", ["serial", "round_robin", "greedy"])
+    def test_same_spec_same_instance(self, schedule):
+        spec = CaseSpec(
+            family="chains/sparse",
+            schedule=schedule,
+            n=6,
+            m=3,
+            instance_seed=99,
+            sim_seed=1,
+            params={"num_chains": 2},
+        )
+        a, _ = build_case(spec)
+        b, _ = build_case(spec)
+        np.testing.assert_array_equal(a.p, b.p)
+        assert a.dag.edges == b.dag.edges
+
+    def test_coarse_quantizes_but_keeps_support(self):
+        spec = CaseSpec("independent/sparse", "serial", 8, 3, 5, 6)
+        fine = build_instance(spec)
+        coarse = build_instance(spec.with_(coarse=1))
+        # Same sparsity pattern, probabilities snapped to the 1/2 grid.
+        np.testing.assert_array_equal(fine.p > 0, coarse.p > 0)
+        grid_multiples = coarse.p[coarse.p > 0] / 0.5
+        np.testing.assert_allclose(grid_multiples, np.round(grid_multiples))
+
+    def test_every_schedule_family_builds(self):
+        for schedule in SCHEDULE_FAMILIES:
+            spec = CaseSpec(
+                family="independent/uniform",
+                schedule=schedule,
+                n=3,
+                m=2,
+                instance_seed=4,
+                sim_seed=5,
+            )
+            instance, sched = build_case(spec)
+            assert sched is not None
+            assert instance.n == 3
+
+
+class TestSampleCase:
+    def test_deterministic_stream(self):
+        a = [sample_case(np.random.default_rng(7)) for _ in range(5)]
+        b = [sample_case(np.random.default_rng(7)) for _ in range(5)]
+        assert a == b
+
+    def test_respects_size_caps(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            spec = sample_case(rng, max_jobs=9, max_machines=3, exact_opt_jobs=3)
+            assert 1 <= spec.m <= 3
+            if spec.schedule == "exact_regimen":
+                assert spec.n <= 3
+            if spec.family not in ("grid", "project"):
+                assert spec.n <= 9
+
+    def test_eventually_draws_tight_budgets_and_all_schedules(self):
+        rng = np.random.default_rng(1)
+        specs = [sample_case(rng) for _ in range(400)]
+        assert any(s.max_steps for s in specs)
+        assert {s.schedule for s in specs} == set(SCHEDULE_FAMILIES)
+        # Scenario families show up too, not just the random cross product.
+        assert any(s.family in SCENARIO_FAMILIES for s in specs)

@@ -1,0 +1,87 @@
+"""Tests for repro.verify.fuzzer and repro.verify.corpus."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.verify.fuzzer as fuzzer_mod
+from repro.errors import ValidationError
+from repro.verify import CaseSpec, CheckConfig, load_corpus, run_fuzz, save_entry
+from repro.verify.corpus import CorpusEntry, replay_entry
+from repro.verify.oracles import Discrepancy
+
+FAST = CheckConfig(reps=80)
+
+
+class TestRunFuzz:
+    def test_small_campaign_passes_and_is_deterministic(self):
+        a = run_fuzz(budget=4, seed=123, cfg=FAST)
+        b = run_fuzz(budget=4, seed=123, cfg=FAST)
+        assert a.ok and b.ok
+        assert a.cases_run == b.cases_run == 4
+
+    def test_time_budget_stops_early(self):
+        report = run_fuzz(budget=10_000, seed=0, time_budget_s=0.0, cfg=FAST)
+        assert report.cases_run == 0
+        assert report.ok
+
+    def test_progress_callback_sees_every_case(self):
+        seen = []
+        run_fuzz(
+            budget=3,
+            seed=5,
+            cfg=FAST,
+            progress=lambda i, spec, d: seen.append((i, spec.family)),
+        )
+        assert [i for i, _ in seen] == [0, 1, 2]
+
+    def test_failures_are_shrunk_and_recorded(self, tmp_path, monkeypatch):
+        # Plant a bug: every case with n >= 2 "fails" the engines check.
+        def fake_check(spec, cfg=None, only=None):
+            if spec.n >= 2 and (only in (None, "engines")):
+                return [Discrepancy("engines", "planted")]
+            return []
+
+        monkeypatch.setattr(fuzzer_mod, "check_case", fake_check)
+        monkeypatch.setattr("repro.verify.shrink.check_case", fake_check)
+        report = run_fuzz(budget=6, seed=1, cfg=FAST, corpus_dir=tmp_path)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.minimized.n == 2  # shrunk to the smallest failing n
+        entries = load_corpus(tmp_path)
+        assert entries and all(e.status == "open" for e in entries)
+        assert entries[0].check == "engines"
+
+
+class TestCorpus:
+    def entry(self, name="sample"):
+        return CorpusEntry(
+            name=name,
+            case=CaseSpec("independent/uniform", "serial", 1, 1, 3, 4),
+            check="engines",
+            message="msg",
+            status="fixed",
+            notes="notes",
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = save_entry(self.entry(), tmp_path)
+        assert path.name == "sample.json"
+        [loaded] = load_corpus(tmp_path)
+        assert loaded.case == self.entry().case
+        assert loaded.status == "fixed"
+
+    def test_schema_version_guard(self, tmp_path):
+        data = self.entry().to_dict()
+        data["schema_version"] = 99
+        (tmp_path / "bad.json").write_text(json.dumps(data))
+        with pytest.raises(ValidationError):
+            load_corpus(tmp_path)
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+    def test_replay_runs_the_oracles(self):
+        assert replay_entry(self.entry(), cfg=FAST) == []

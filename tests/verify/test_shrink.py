@@ -1,0 +1,90 @@
+"""Tests for repro.verify.shrink — minimization with synthetic predicates."""
+
+from __future__ import annotations
+
+from repro.verify import CaseSpec
+from repro.verify.oracles import Discrepancy
+from repro.verify.shrink import _size, shrink_case
+
+
+def big_spec(**kw):
+    defaults = dict(
+        family="diamond/heterogeneous",
+        schedule="serial",
+        n=12,
+        m=4,
+        instance_seed=1,
+        sim_seed=2,
+        params={"width": 3},
+    )
+    defaults.update(kw)
+    return CaseSpec(**defaults)
+
+
+def fails_when(predicate):
+    def check(spec):
+        if predicate(spec):
+            return [Discrepancy("synthetic", "still failing")]
+        return []
+
+    return check
+
+
+class TestShrinkLoop:
+    def test_minimizes_job_count(self):
+        result = shrink_case(
+            big_spec(), "synthetic", still_fails=fails_when(lambda s: s.n >= 3)
+        )
+        assert result.spec.n == 3
+        assert result.discrepancies  # still a verified reproducer
+
+    def test_minimizes_machines_and_structure(self):
+        # Failure independent of everything: shrinks to the floor in all axes.
+        result = shrink_case(big_spec(), "synthetic", still_fails=fails_when(lambda s: True))
+        assert result.spec.n == 1
+        assert result.spec.m == 1
+        assert result.spec.family == "independent/uniform"
+        assert result.spec.params == {}
+        assert result.spec.coarse == 1  # coarsest probability grid
+
+    def test_keeps_structure_the_failure_needs(self):
+        # Failure requires the diamond DAG: the family must survive.
+        result = shrink_case(
+            big_spec(),
+            "synthetic",
+            still_fails=fails_when(lambda s: s.family.startswith("diamond/")),
+        )
+        assert result.spec.family.startswith("diamond/")
+        assert result.spec.n == 1
+
+    def test_passing_case_returns_unchanged(self):
+        spec = big_spec()
+        result = shrink_case(spec, "synthetic", still_fails=fails_when(lambda s: False))
+        assert result.spec == spec
+        assert result.discrepancies == []
+        assert result.steps == 0
+
+    def test_every_accepted_step_strictly_shrinks(self):
+        seen = []
+
+        def check(spec):
+            seen.append(spec)
+            return [Discrepancy("synthetic", "fail")]
+
+        shrink_case(big_spec(), "synthetic", still_fails=check)
+        # The accepted chain (first spec, then every improvement) is
+        # strictly decreasing in the size order.
+        sizes = [_size(s) for s in seen]
+        accepted = [sizes[0]]
+        for size in sizes[1:]:
+            if size < accepted[-1]:
+                accepted.append(size)
+        assert accepted == sorted(accepted, reverse=True)
+        assert len(accepted) >= 3
+
+    def test_deterministic(self):
+        pred = fails_when(lambda s: s.n * s.m >= 6)
+        a = shrink_case(big_spec(), "synthetic", still_fails=pred)
+        b = shrink_case(big_spec(), "synthetic", still_fails=pred)
+        assert a.spec == b.spec
+        assert a.steps == b.steps
