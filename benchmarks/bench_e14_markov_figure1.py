@@ -2,9 +2,10 @@
 
 Figure 1 of the paper depicts two views of schedule execution: the Markov
 chain over unfinished sets (for regimens) and the rooted execution tree.
-The reproduction claim: our three independent machineries — the exact
-subset-lattice solver, the exact execution tree, and stochastic
-simulation — agree on the same numbers for the paper's 3-job setting.
+The reproduction claim: our independent machineries — the exact
+subset-lattice solver (both the vectorized sparse engine and the scalar
+golden path), the exact execution tree, and stochastic simulation — agree
+on the same numbers for the paper's 3-job setting.
 """
 
 from __future__ import annotations
@@ -28,9 +29,12 @@ def _run(rng):
     inst = SUUInstance(p, name="figure1")
     rows = []
 
-    # (a) regimen view: optimal regimen through the Markov chain
+    # (a) regimen view: optimal regimen through the Markov chain (the
+    # vectorized sparse engine, cross-checked against the scalar golden
+    # path — a fourth machinery for the same number)
     sol = optimal_regimen(inst)
     markov = expected_makespan_regimen(inst, sol.regimen)
+    markov_scalar = expected_makespan_regimen(inst, sol.regimen, engine="scalar")
     mc = estimate_makespan(
         inst, sol.regimen.as_policy(), reps=6000, rng=rng, max_steps=10_000
     )
@@ -38,6 +42,7 @@ def _run(rng):
         {
             "object": "optimal regimen",
             "markov_exact": markov,
+            "markov_scalar": markov_scalar,
             "dp_value": sol.expected_makespan,
             "mc_mean": mc.mean,
             "mc_se": mc.std_err,
@@ -50,6 +55,7 @@ def _run(rng):
         ObliviousSchedule(np.array([[0, 1], [2, 0], [1, 2]])),
     )
     markov_c = expected_makespan_cyclic(inst, sched)
+    markov_c_scalar = expected_makespan_cyclic(inst, sched, engine="scalar")
     mc_c = estimate_makespan(inst, sched, reps=6000, rng=rng, max_steps=10_000)
     # execution tree: exact Pr[all done by t] for t = 6; cross-check with
     # the empirical CDF
@@ -63,6 +69,7 @@ def _run(rng):
         {
             "object": "cyclic schedule",
             "markov_exact": markov_c,
+            "markov_scalar": markov_c_scalar,
             "dp_value": float("nan"),
             "mc_mean": mc_c.mean,
             "mc_se": mc_c.std_err,
@@ -87,6 +94,9 @@ def test_e14_figure1_agreement(benchmark, recorder, rng):
         recorder.add(**r)
     print("\n" + table.render())
     reg, cyc = rows
+    engines_match = all(
+        abs(r["markov_exact"] - r["markov_scalar"]) < 1e-9 for r in rows
+    )
     dp_match = abs(reg["markov_exact"] - reg["dp_value"]) < 1e-9
     mc_match_reg = abs(reg["markov_exact"] - reg["mc_mean"]) < 5 * reg["mc_se"] + 1e-3
     mc_match_cyc = abs(cyc["markov_exact"] - cyc["mc_mean"]) < 5 * cyc["mc_se"] + 1e-3
@@ -95,8 +105,9 @@ def test_e14_figure1_agreement(benchmark, recorder, rng):
         f"\nPr[all done by 6]: exact {cyc['p_done6_exact']:.4f} vs "
         f"empirical {cyc['p_done6_empirical']:.4f}"
     )
+    recorder.claim("sparse_engine_equals_scalar", engines_match)
     recorder.claim("dp_equals_markov", dp_match)
     recorder.claim("mc_matches_markov_regimen", mc_match_reg)
     recorder.claim("mc_matches_markov_cyclic", mc_match_cyc)
     recorder.claim("tree_matches_empirical_cdf", tree_match)
-    assert dp_match and mc_match_reg and mc_match_cyc and tree_match
+    assert engines_match and dp_match and mc_match_reg and mc_match_cyc and tree_match

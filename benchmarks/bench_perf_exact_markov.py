@@ -1,0 +1,120 @@
+"""PERF — vectorized sparse exact-Markov engine vs the scalar golden path.
+
+Solves the Figure-1 subset-lattice DP with both engines on the same
+workloads and records the wall-clock speedup:
+
+* **regimen** (the acceptance workload): the eligible-set round-robin
+  regimen on an n-job chains instance — 2^n states, each with its own
+  assignment, the worst case for signature sharing.  The sparse engine
+  sweeps the lattice one popcount layer at a time with CSR-style subset
+  tables; the scalar path builds one transition dict per state.
+* **cyclic**: a round-robin prefix+cycle schedule, where the chain's
+  states are ``(S, τ)`` pairs and the sparse engine additionally
+  vectorizes the rho-shape cycle solve across each layer.
+
+``REPRO_PERF_EXACT_N`` resizes the regimen workload (CI's perf-smoke job
+runs n=12 and only asserts the sparse engine wins; the committed
+``benchmarks/results/perf_exact_markov.json`` records the full n=14 run,
+where ≥10× is asserted).  The sparse engine is timed best-of-3 — its
+absolute runtime is tens of milliseconds, where timer noise matters; the
+scalar path is timed once.  Engine agreement to ≤1e-9 is asserted here
+*and* property-tested across all workload families in
+``tests/sim/test_exact_engines_equiv.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.algorithms import round_robin_baseline, state_round_robin_regimen
+from repro.analysis import Table
+from repro.sim import expected_makespan_cyclic, expected_makespan_regimen
+from repro.workloads import random_instance
+
+#: Regimen workload size; the acceptance claim is pinned at n = 14.
+N = int(os.environ.get("REPRO_PERF_EXACT_N", "14"))
+M = 4
+N_CYCLIC = min(N, 12)
+
+#: Below the acceptance size the bench only requires a win, not 10x.
+SPEEDUP_FLOOR = 10.0 if N >= 14 else 1.5
+
+
+def _best_of(fn, rounds: int = 3) -> tuple[float, float]:
+    """(best seconds, value) over ``rounds`` runs; values must be stable."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def _measure():
+    rows = []
+    inst = random_instance(N, M, dag_kind="chains", num_chains=4, rng=7)
+    regimen = state_round_robin_regimen(inst).schedule
+    t_sparse, v_sparse = _best_of(
+        lambda: expected_makespan_regimen(inst, regimen, engine="sparse")
+    )
+    t0 = time.perf_counter()
+    v_scalar = expected_makespan_regimen(inst, regimen, engine="scalar")
+    t_scalar = time.perf_counter() - t0
+    rows.append(
+        {
+            "workload": f"regimen n={N} m={M}",
+            "scalar_s": t_scalar,
+            "sparse_s": t_sparse,
+            "speedup": t_scalar / t_sparse,
+            "value": v_sparse,
+            "agreement": abs(v_sparse - v_scalar),
+        }
+    )
+
+    inst_c = random_instance(N_CYCLIC, M, dag_kind="layered", layers=4, rng=9)
+    cyclic = round_robin_baseline(inst_c).schedule
+    t_sparse, v_sparse = _best_of(
+        lambda: expected_makespan_cyclic(inst_c, cyclic, engine="sparse")
+    )
+    t0 = time.perf_counter()
+    v_scalar = expected_makespan_cyclic(inst_c, cyclic, engine="scalar")
+    t_scalar = time.perf_counter() - t0
+    rows.append(
+        {
+            "workload": f"cyclic n={N_CYCLIC} m={M} positions={N_CYCLIC}",
+            "scalar_s": t_scalar,
+            "sparse_s": t_sparse,
+            "speedup": t_scalar / t_sparse,
+            "value": v_sparse,
+            "agreement": abs(v_sparse - v_scalar),
+        }
+    )
+    return rows
+
+
+def test_perf_sparse_vs_scalar_exact(benchmark, recorder):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = Table(
+        ["workload", "scalar (s)", "sparse (s)", "speedup", "E[makespan]", "|Δ|"],
+        title="PERF  sparse vs scalar exact-Markov engine",
+        ndigits=4,
+    )
+    for r in rows:
+        table.add_row(
+            [r["workload"], r["scalar_s"], r["sparse_s"], r["speedup"], r["value"], r["agreement"]]
+        )
+        recorder.add(**r)
+    print("\n" + table.render())
+    regimen_row = rows[0]
+    recorder.add(kind="summary", n=N, m=M, speedup_floor=SPEEDUP_FLOOR)
+    recorder.claim(
+        "sparse_at_least_10x_on_regimen_n14",
+        N >= 14 and regimen_row["speedup"] >= 10.0,
+    )
+    recorder.claim("sparse_beats_scalar", all(r["speedup"] > 1.0 for r in rows))
+    recorder.claim("engines_agree_1e9", all(r["agreement"] <= 1e-9 for r in rows))
+    assert regimen_row["speedup"] >= SPEEDUP_FLOOR
+    assert all(r["speedup"] > 1.0 for r in rows)
+    assert all(r["agreement"] <= 1e-9 for r in rows)

@@ -8,6 +8,7 @@ from .baselines import (
     random_policy,
     round_robin_baseline,
     serial_baseline,
+    state_round_robin_regimen,
 )
 from .chains import build_chain_bands, solve_chains
 from .constants import LEAN, PAPER, PRACTICAL, SUUConstants
@@ -41,6 +42,7 @@ __all__ = [
     "serial_tail",
     "all_baselines",
     "exact_baseline",
+    "state_round_robin_regimen",
     "greedy_prob_policy",
     "random_policy",
     "msm_eligible_policy",

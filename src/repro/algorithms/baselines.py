@@ -27,6 +27,7 @@ from ..core.schedule import (
     AdaptivePolicy,
     CyclicSchedule,
     ObliviousSchedule,
+    Regimen,
     ScheduleResult,
 )
 from ..opt.malewicz import optimal_regimen
@@ -39,6 +40,7 @@ __all__ = [
     "random_policy",
     "msm_eligible_policy",
     "exact_baseline",
+    "state_round_robin_regimen",
     "all_baselines",
 ]
 
@@ -147,6 +149,40 @@ def exact_baseline(instance: SUUInstance, max_states: int = 1 << 14) -> Schedule
         schedule=sol.regimen,
         algorithm="exact_baseline",
         certificates={"expected_makespan": sol.expected_makespan},
+    )
+
+
+def state_round_robin_regimen(
+    instance: SUUInstance, max_states: int = 1 << 20
+) -> ScheduleResult:
+    """Round-robin over each state's *eligible* jobs, as an explicit regimen.
+
+    The state-dependent cousin of :func:`round_robin_baseline`: in state
+    ``S``, machine ``i`` takes the ``i``-th eligible job of ``S``
+    (cyclically).  Unlike the Malewicz DP this materializes in ``O(2^n ·
+    n)`` time with no assignment enumeration, so it is the standard
+    *evaluation workload* for the exact Markov engines at n ≈ 14–20
+    (``benchmarks/bench_perf_exact_markov.py``, the engine-equivalence
+    property tests, and the ``state_round_robin`` registry algorithm) —
+    a nontrivial regimen whose exact expected makespan is well-defined
+    because every eligible job set is nonempty and every job has a
+    positive-probability machine.
+    """
+    from .._util import iterable_from_bitmask
+    from ..sim.exact import check_state_budget
+    from ..sim.markov import eligible_bitmask
+
+    n, m = instance.n, instance.m
+    check_state_budget(n, 1, max_states)
+    assignments: dict[int, np.ndarray] = {}
+    for state in range(1, 1 << n):
+        jobs = iterable_from_bitmask(eligible_bitmask(instance, state))
+        assignments[state] = np.array(
+            [jobs[i % len(jobs)] for i in range(m)], dtype=np.int32
+        )
+    return ScheduleResult(
+        schedule=Regimen(n, m, assignments),
+        algorithm="state_round_robin",
     )
 
 

@@ -6,6 +6,7 @@ Subcommands
 ``info``             structural summary of an instance file
 ``solve``            schedule an instance, print certificates, optionally save
 ``simulate``         Monte-Carlo makespan estimate for an instance (+ baselines)
+``exact``            exact expected makespan via the Markov-chain engine
 ``gantt``            render a schedule (or a fresh solve) as an ASCII Gantt chart
 ``demo``             end-to-end demonstration on a built-in scenario
 ``run-experiments``  run a named experiment suite through the cached runner
@@ -91,6 +92,37 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--seed", type=int, default=0)
     r.add_argument("--max-steps", type=int, default=200_000)
     r.add_argument("--baselines", action="store_true", help="also run baselines")
+
+    x = sub.add_parser(
+        "exact",
+        help="exact expected makespan of a cyclic schedule (Figure-1 Markov chain)",
+    )
+    x.add_argument("input", type=Path, help="instance .json")
+    x.add_argument(
+        "--schedule", type=Path, help="cyclic schedule .json (default: solve now)"
+    )
+    x.add_argument("--method", default="auto")
+    x.add_argument("--constants", default="practical", choices=sorted(_PRESETS))
+    x.add_argument("--seed", type=int, default=0)
+    x.add_argument(
+        "--engine",
+        default="sparse",
+        choices=["sparse", "scalar"],
+        help="sparse = vectorized layered sweep (default); scalar = golden reference",
+    )
+    x.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="cap on DP entries 2^n x (prefix+cycle); default from repro.sim.exact",
+    )
+    x.add_argument(
+        "--curve",
+        type=int,
+        default=0,
+        metavar="T",
+        help="also print the exact Pr[all done by t] for t = 1..T",
+    )
 
     ga = sub.add_parser("gantt", help="render a schedule as an ASCII Gantt chart")
     ga.add_argument("input", type=Path, help="instance .json")
@@ -254,6 +286,59 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_exact(args) -> int:
+    from .core import CyclicSchedule
+    from .errors import ExactSolverLimitError, ScheduleError
+    from .sim import exact_completion_curve, expected_makespan_cyclic
+    from .sim.exact import DEFAULT_MAX_STATES
+
+    inst = _load_instance(args.input)
+    if args.schedule:
+        data = json.loads(args.schedule.read_text())
+        if data.get("kind") != "cyclic":
+            print(
+                "exact evaluation needs a cyclic schedule "
+                "(a finite one may never finish)",
+                file=sys.stderr,
+            )
+            return 2
+        schedule = CyclicSchedule.from_dict(data)
+    else:
+        result = solve(
+            inst, constants=_PRESETS[args.constants], rng=args.seed, method=args.method
+        )
+        if not isinstance(result.schedule, CyclicSchedule):
+            print(
+                f"{result.algorithm} produced a non-cyclic schedule; pass "
+                "--schedule with a cyclic one",
+                file=sys.stderr,
+            )
+            return 2
+        schedule = result.schedule
+        print(f"algorithm: {result.algorithm}")
+    max_states = args.max_states if args.max_states is not None else DEFAULT_MAX_STATES
+    try:
+        value = expected_makespan_cyclic(
+            inst, schedule, max_states=max_states, engine=args.engine
+        )
+        curve = (
+            exact_completion_curve(
+                inst, schedule, args.curve, max_states=max_states, engine=args.engine
+            )
+            if args.curve > 0
+            else None
+        )
+    except (ExactSolverLimitError, ScheduleError) as exc:
+        print(f"exact solve failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"engine            : {args.engine}")
+    print(f"E[makespan] exact : {value:.9f}")
+    if curve is not None:
+        for t, pr in enumerate(curve, start=1):
+            print(f"  Pr[done by {t:3d}] = {pr:.6f}")
+    return 0
+
+
 def _cmd_gantt(args) -> int:
     from .core import CyclicSchedule, ObliviousSchedule
     from .viz import render_gantt
@@ -410,7 +495,8 @@ def _cmd_fuzz(args) -> int:
         print()
         print(failure.describe())
     if report.failures and args.save_failures:
-        print(f"\nminimized reproducers written to {args.save_failures}")
+        kind = "reproducers" if args.no_shrink else "minimized reproducers"
+        print(f"\n{kind} written to {args.save_failures}")
     return 0 if report.ok else 1
 
 
@@ -421,6 +507,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "solve": _cmd_solve,
         "simulate": _cmd_simulate,
+        "exact": _cmd_exact,
         "gantt": _cmd_gantt,
         "demo": _cmd_demo,
         "run-experiments": _cmd_run_experiments,

@@ -35,6 +35,7 @@ from ..algorithms import (
     round_robin_baseline,
     serial_baseline,
     solve,
+    state_round_robin_regimen,
     suu_i_adaptive,
     suu_i_lp,
     suu_i_oblivious,
@@ -216,3 +217,9 @@ def _alg_msm_eligible(instance, rng):
 @register_algorithm("exact")
 def _alg_exact(instance, rng, max_states=1 << 14):
     return exact_baseline(instance, max_states=max_states)
+
+
+@register_algorithm("state_round_robin")
+def _alg_state_round_robin(instance, rng, max_states=1 << 20):
+    """Eligible-set round-robin as an explicit regimen (exact-engine workload)."""
+    return state_round_robin_regimen(instance, max_states=max_states)

@@ -18,7 +18,10 @@ executor, and each spec's replications split into independent
 shards, same merge order, same numbers — so ``executor="process",
 workers=N`` changes wall-clock only, never results.  In-flight shard
 partials are themselves cached (``<cache>/shards/``), so an interrupted
-sweep resumes from the shards it already finished.
+sweep resumes from the shards it already finished; partials carry the same
+:data:`RESULT_SCHEMA_VERSION` as top-level entries, and a version mismatch
+warns (:class:`~repro.errors.StaleCacheWarning`) and recomputes instead of
+resuming from stale numbers.
 
 ``docs/architecture.md`` documents how the runner, the registries, the
 simulation engines, and the parallel backend fit together.
@@ -201,14 +204,40 @@ def _load_cached_result(path: Path) -> ExperimentResult | None:
         return None
 
 
+def _stale_partial(path: Path, data: object, kind: str) -> bool:
+    """True (with a :class:`StaleCacheWarning`) for version-mismatched partials.
+
+    Shard and reference partials carry the same ``schema_version`` as
+    top-level results; resuming an interrupted sweep from partials written
+    under another schema would silently mix incompatible numbers into the
+    merge, so a mismatch is rejected as loudly as a stale spec-level entry.
+    """
+    version = data.get("schema_version") if isinstance(data, dict) else None
+    if version == RESULT_SCHEMA_VERSION:
+        return False
+    warnings.warn(
+        StaleCacheWarning(
+            f"discarding stale {kind} {path.name}: written under "
+            f"schema_version={version!r}, this runner writes "
+            f"{RESULT_SCHEMA_VERSION}; recomputing instead of resuming"
+        ),
+        stacklevel=5,
+    )
+    return True
+
+
 def _load_cached_shard(path: Path, spec_hash: str, shard: Shard) -> dict | None:
     if not path.exists():
         return None
     try:
         data = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None  # corrupt entry: a quiet miss, recomputed and rewritten
+    if _stale_partial(path, data, "shard partial"):
+        return None
+    try:
         if (
-            data.get("schema_version") != RESULT_SCHEMA_VERSION
-            or data.get("spec_hash") != spec_hash
+            data.get("spec_hash") != spec_hash
             or data.get("shard_index") != shard.index
             or data.get("n_shards") != shard.n_shards
             or not isinstance(data["engine_used"], str)
@@ -220,30 +249,35 @@ def _load_cached_shard(path: Path, spec_hash: str, shard: Shard) -> dict | None:
             return None  # written under a different shard plan: recompute
         data["partial"] = partial
         return data
-    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError):
+    except (KeyError, TypeError, ValueError):
         return None
 
 
 def _load_cached_reference(path: Path, spec_hash: str) -> dict | None:
-    """Read a cached reference solve; None on miss or any defect.
+    """Read a cached reference solve; None on miss, staleness, or defect.
 
     Validates every field the suite loop later reads, mirroring
-    :func:`_load_cached_shard` — corrupt entries are misses, never errors.
+    :func:`_load_cached_shard` — corrupt entries are quiet misses, while a
+    ``schema_version`` mismatch warns with :class:`StaleCacheWarning`.
     """
     if not path.exists():
         return None
     try:
         data = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if _stale_partial(path, data, "reference solve"):
+        return None
+    try:
         if (
-            data.get("schema_version") != RESULT_SCHEMA_VERSION
-            or data.get("spec_hash") != spec_hash
+            data.get("spec_hash") != spec_hash
             or not isinstance(data["reference"], (int, float))
             or not isinstance(data["reference_kind"], str)
             or not isinstance(data["elapsed_s"], (int, float))
         ):
             return None
         return data
-    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
+    except (KeyError, TypeError):
         return None
 
 

@@ -7,12 +7,17 @@ Three execution engines share one set of semantics (Def 2.1); see
 * :mod:`.montecarlo` — lockstep numpy path for oblivious/cyclic schedules;
 * :mod:`.batch` — lockstep path for adaptive policies with frontier-state
   memoization.
+
+The exact analytic layer (:mod:`.markov`, a facade over :mod:`.exact`)
+solves the Figure-1 Markov chain itself: a vectorized sparse engine by
+default, with the original scalar DP retained behind ``engine="scalar"``.
 """
 
 from .batch import BatchExecutionResult, batchable, simulate_batch
 from .engine import DEFAULT_MAX_STEPS, ExecutionResult, eligible_mask, simulate, simulate_or_raise
 from .exec_tree import ExecutionTree, build_execution_tree
 from .markov import (
+    EXACT_ENGINES,
     eligible_bitmask,
     exact_completion_curve,
     expected_makespan_cyclic,
@@ -33,6 +38,7 @@ __all__ = [
     "simulate_or_raise",
     "ExecutionTree",
     "build_execution_tree",
+    "EXACT_ENGINES",
     "eligible_bitmask",
     "exact_completion_curve",
     "state_distribution",

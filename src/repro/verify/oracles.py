@@ -14,7 +14,8 @@ check                what must agree
                      engine routing, sample-range invariants (makespans are
                      1-based, censoring consistent)
 ``markov``           exact Markov expected makespan vs every applicable
-                     engine's Monte Carlo mean (z-gated, two-stage)
+                     engine's Monte Carlo mean (z-gated, two-stage), plus
+                     sparse-vs-scalar exact-engine agreement to 1e-9
 ``curve``            ``completion_curve`` vs the estimator's own samples
                      (censoring handling, CDF shape) and vs the exact
                      Markov completion CDF (DKW band)
@@ -297,15 +298,22 @@ def check_engines(ctx: CaseContext) -> list[Discrepancy]:
     return out
 
 
-def _exact_expected_makespan(instance, schedule, cfg: CheckConfig) -> float | None:
-    """Exact E[makespan] when an analytic oracle applies, else None."""
+def _exact_expected_makespan(
+    instance, schedule, cfg: CheckConfig, engine: str = "sparse"
+) -> float | None:
+    """Exact E[makespan] when an analytic oracle applies, else None.
+
+    ``engine`` selects the exact solver: the vectorized sparse engine
+    (the default the whole suite measures against) or the scalar golden
+    path (used by :func:`check_markov` to triangulate the two).
+    """
     if instance.n > cfg.markov_jobs:
         return None
     try:
         if isinstance(schedule, Regimen):
-            return expected_makespan_regimen(instance, schedule)
+            return expected_makespan_regimen(instance, schedule, engine=engine)
         if isinstance(schedule, CyclicSchedule):
-            return expected_makespan_cyclic(instance, schedule)
+            return expected_makespan_cyclic(instance, schedule, engine=engine)
     except ExactSolverLimitError:
         return None
     return None
@@ -332,6 +340,23 @@ def check_markov(ctx: CaseContext) -> list[Discrepancy]:
     if exact is None:
         return []
     out: list[Discrepancy] = []
+    # Exact vs exact: the sparse layered-sweep engine against the scalar
+    # golden path (same chain, independent implementations, no statistics).
+    if ctx.instance.n <= 6:
+        scalar_exact = _exact_expected_makespan(
+            ctx.instance, ctx.schedule, cfg, engine="scalar"
+        )
+        if scalar_exact is not None and abs(exact - scalar_exact) > 1e-9 * max(
+            1.0, abs(scalar_exact)
+        ):
+            out.append(
+                Discrepancy(
+                    "markov",
+                    f"sparse exact engine says {exact:.12f} but the scalar "
+                    f"golden path says {scalar_exact:.12f}",
+                    {"sparse": exact, "scalar": scalar_exact},
+                )
+            )
     for label, est in ctx.estimates.items():
         if _markov_deviates(est, exact, cfg.reps, cfg.z) is None:
             continue

@@ -212,6 +212,112 @@ class TestParallelExecution:
         assert forced.mean == fresh.mean
 
 
+class TestStalePartials:
+    """Version-mismatched shard/reference partials must never be resumed.
+
+    Regression: partials under ``<cache>/shards/`` are schema-versioned
+    like top-level results; a ``RESULT_SCHEMA_VERSION`` bump warns with
+    :class:`StaleCacheWarning` and recomputes instead of silently merging
+    stale numbers into a resumed sweep.
+    """
+
+    @staticmethod
+    def _poisoned_shard_entry(spec, shard, version):
+        from repro.parallel import PartialEstimate
+
+        poison = PartialEstimate.from_samples([1000.0] * shard.reps)
+        return {
+            "schema_version": version,
+            "spec_hash": spec.spec_hash(),
+            "shard_index": shard.index,
+            "n_shards": shard.n_shards,
+            "partial": poison.to_dict(),
+            "engine_used": "batched",
+            "algorithm": "poisoned",
+            "certificates": {},
+            "elapsed_s": 0.0,
+        }
+
+    def test_stale_shard_partial_warns_and_recomputes(self, tmp_path):
+        from repro.experiments.runner import _shard_cache_path
+        from repro.parallel import make_shard_plan
+
+        spec = _tiny_spec(reps=50, sim_seed=5)
+        fresh = run_experiment(spec, cache_dir=None)
+        shard = make_shard_plan(spec.reps, spec.sim_seed).shards[0]
+        path = _shard_cache_path(tmp_path, spec.spec_hash(), shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                self._poisoned_shard_entry(spec, shard, RESULT_SCHEMA_VERSION - 1)
+            )
+        )
+        with pytest.warns(StaleCacheWarning, match="stale shard partial"):
+            res = run_experiment(spec, cache_dir=tmp_path)
+        # recomputed from scratch: the poisoned partial never reached the merge
+        assert res.mean == fresh.mean
+        assert res.max == fresh.max != 1000.0
+
+    def test_unversioned_shard_partial_is_stale_too(self, tmp_path):
+        from repro.experiments.runner import _shard_cache_path
+        from repro.parallel import make_shard_plan
+
+        spec = _tiny_spec(reps=50, sim_seed=6)
+        fresh = run_experiment(spec, cache_dir=None)
+        shard = make_shard_plan(spec.reps, spec.sim_seed).shards[0]
+        entry = self._poisoned_shard_entry(spec, shard, RESULT_SCHEMA_VERSION)
+        entry.pop("schema_version")  # pre-versioning writer
+        path = _shard_cache_path(tmp_path, spec.spec_hash(), shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(entry))
+        with pytest.warns(StaleCacheWarning, match="schema_version=None"):
+            res = run_experiment(spec, cache_dir=tmp_path)
+        assert res.mean == fresh.mean
+
+    def test_stale_reference_partial_warns_and_recomputes(self, tmp_path):
+        from repro.experiments.runner import _reference_cache_path
+
+        spec = _tiny_spec(compute_reference=True, exact_limit=0)
+        fresh = run_experiment(spec, cache_dir=None)
+        path = _reference_cache_path(tmp_path, spec.spec_hash())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": RESULT_SCHEMA_VERSION - 1,
+                    "spec_hash": spec.spec_hash(),
+                    "reference": 999.0,  # poison: silent resume would surface it
+                    "reference_kind": "exact",
+                    "elapsed_s": 0.0,
+                }
+            )
+        )
+        with pytest.warns(StaleCacheWarning, match="stale reference solve"):
+            res = run_experiment(spec, cache_dir=tmp_path)
+        assert res.reference == fresh.reference != 999.0
+        assert res.reference_kind == "lower_bound"
+
+    def test_current_version_shard_partial_still_resumes(self, tmp_path):
+        # The loud staleness path must not break legitimate resume: a
+        # current-version partial is merged without warnings.
+        import warnings as _warnings
+
+        from repro.experiments.runner import _shard_cache_path
+        from repro.parallel import make_shard_plan
+
+        spec = _tiny_spec(reps=50, sim_seed=7)
+        shard = make_shard_plan(spec.reps, spec.sim_seed).shards[0]
+        path = _shard_cache_path(tmp_path, spec.spec_hash(), shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self._poisoned_shard_entry(spec, shard, RESULT_SCHEMA_VERSION))
+        )
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", StaleCacheWarning)
+            res = run_experiment(spec, cache_dir=tmp_path)
+        assert res.max == 1000.0  # the cached partial really was reused
+
+
 class TestRunSuite:
     def test_progress_callback(self, tmp_path):
         seen = []

@@ -1,4 +1,8 @@
-"""Tests for repro.sim.markov — exact subset-lattice expectations."""
+"""Tests for repro.sim.markov — exact subset-lattice expectations.
+
+Solver tests are parametrized over both exact engines: the vectorized
+sparse sweep (default) and the retained scalar golden reference.
+"""
 
 from __future__ import annotations
 
@@ -18,8 +22,14 @@ from repro.sim.markov import (
     eligible_bitmask,
     expected_makespan_cyclic,
     expected_makespan_regimen,
+    state_distribution,
     transition_distribution,
 )
+
+
+@pytest.fixture(params=["sparse", "scalar"])
+def engine(request):
+    return request.param
 
 
 class TestEligibleBitmask:
@@ -69,12 +79,12 @@ class TestTransitionDistribution:
 
 
 class TestRegimenExpectation:
-    def test_single_job_geometric(self):
+    def test_single_job_geometric(self, engine):
         inst = SUUInstance(np.array([[0.25]]))
         r = Regimen(1, 1, {0b1: np.array([0])})
-        assert expected_makespan_regimen(inst, r) == pytest.approx(4.0)
+        assert expected_makespan_regimen(inst, r, engine=engine) == pytest.approx(4.0)
 
-    def test_two_parallel_certain(self):
+    def test_two_parallel_certain(self, engine):
         inst = SUUInstance(np.ones((2, 2)))
         r = Regimen(
             2,
@@ -85,9 +95,9 @@ class TestRegimenExpectation:
                 0b10: np.array([1, 1]),
             },
         )
-        assert expected_makespan_regimen(inst, r) == pytest.approx(1.0)
+        assert expected_makespan_regimen(inst, r, engine=engine) == pytest.approx(1.0)
 
-    def test_max_of_two_geometrics(self):
+    def test_max_of_two_geometrics(self, engine):
         # two jobs, each its own machine with p; E[max of two Geom(p)]
         p = 0.5
         inst = SUUInstance(np.array([[p, 0.0], [0.0, p]]))
@@ -102,9 +112,11 @@ class TestRegimenExpectation:
         )
         # E[max] = 2/p - 1/(1-(1-p)^2)  (inclusion–exclusion of geometrics)
         expected = 2 / p - 1 / (1 - (1 - p) ** 2)
-        assert expected_makespan_regimen(inst, r) == pytest.approx(expected)
+        assert expected_makespan_regimen(inst, r, engine=engine) == pytest.approx(
+            expected
+        )
 
-    def test_no_progress_raises(self):
+    def test_no_progress_raises(self, engine):
         inst = SUUInstance(np.array([[0.5, 0.0], [0.5, 0.8]]))
         # regimen assigns machines to job 0 even in state {1} where only
         # machine 1 can serve job 1 -> from state 0b10 nothing happens
@@ -118,24 +130,24 @@ class TestRegimenExpectation:
             },
         )
         with pytest.raises(ScheduleError):
-            expected_makespan_regimen(inst, r)
+            expected_makespan_regimen(inst, r, engine=engine)
 
-    def test_size_guard(self):
+    def test_size_guard(self, engine):
         inst = SUUInstance(np.ones((1, 20)))
         r = Regimen(20, 1, {})
         with pytest.raises(ExactSolverLimitError):
-            expected_makespan_regimen(inst, r, max_states=1 << 10)
+            expected_makespan_regimen(inst, r, max_states=1 << 10, engine=engine)
 
 
 class TestCyclicExpectation:
-    def test_single_job_every_step(self):
+    def test_single_job_every_step(self, engine):
         inst = SUUInstance(np.array([[0.25]]))
         cyc = CyclicSchedule(
             ObliviousSchedule.empty(1), ObliviousSchedule(np.array([[0]]))
         )
-        assert expected_makespan_cyclic(inst, cyc) == pytest.approx(4.0)
+        assert expected_makespan_cyclic(inst, cyc, engine=engine) == pytest.approx(4.0)
 
-    def test_job_served_every_other_step(self):
+    def test_job_served_every_other_step(self, engine):
         # cycle [job0, idle]: success prob p per 2 steps; E = sum over k of
         # (2k+1) p (1-p)^k = (2/p) - 1
         p = 0.5
@@ -144,36 +156,38 @@ class TestCyclicExpectation:
             ObliviousSchedule.empty(1),
             ObliviousSchedule(np.array([[0], [-1]])),
         )
-        assert expected_makespan_cyclic(inst, cyc) == pytest.approx(2 / p - 1)
+        assert expected_makespan_cyclic(inst, cyc, engine=engine) == pytest.approx(
+            2 / p - 1
+        )
 
-    def test_prefix_used_once(self):
+    def test_prefix_used_once(self, engine):
         # prefix serves the job with p=1, so E = 1 regardless of the cycle
         inst = SUUInstance(np.array([[1.0]]))
         cyc = CyclicSchedule(
             ObliviousSchedule(np.array([[0]])),
             ObliviousSchedule(np.array([[-1]])),
         )
-        assert expected_makespan_cyclic(inst, cyc) == pytest.approx(1.0)
+        assert expected_makespan_cyclic(inst, cyc, engine=engine) == pytest.approx(1.0)
 
-    def test_dead_cycle_raises(self):
+    def test_dead_cycle_raises(self, engine):
         inst = SUUInstance(np.array([[0.5]]))
         cyc = CyclicSchedule(
             ObliviousSchedule(np.array([[0]])),
             ObliviousSchedule(np.array([[-1]])),  # idle forever after prefix
         )
         with pytest.raises(ScheduleError):
-            expected_makespan_cyclic(inst, cyc)
+            expected_makespan_cyclic(inst, cyc, engine=engine)
 
-    def test_chain_with_certain_probs(self):
+    def test_chain_with_certain_probs(self, engine):
         dag = PrecedenceDAG(2, [(0, 1)])
         inst = SUUInstance(np.ones((1, 2)), dag)
         cyc = CyclicSchedule(
             ObliviousSchedule.empty(1),
             ObliviousSchedule(np.array([[0], [1]])),
         )
-        assert expected_makespan_cyclic(inst, cyc) == pytest.approx(2.0)
+        assert expected_makespan_cyclic(inst, cyc, engine=engine) == pytest.approx(2.0)
 
-    def test_matches_regimen_when_cycle_is_constant(self, tiny_independent):
+    def test_matches_regimen_when_cycle_is_constant(self, tiny_independent, engine):
         # a constant cyclic schedule is the oblivious regimen
         a = np.array([0, 1, 2])
         cyc = CyclicSchedule(
@@ -181,6 +195,71 @@ class TestCyclicExpectation:
         )
         states = {s: a for s in range(1, 8)}
         reg = Regimen(3, 3, states)
-        assert expected_makespan_cyclic(tiny_independent, cyc) == pytest.approx(
-            expected_makespan_regimen(tiny_independent, reg)
+        assert expected_makespan_cyclic(
+            tiny_independent, cyc, engine=engine
+        ) == pytest.approx(
+            expected_makespan_regimen(tiny_independent, reg, engine=engine)
         )
+
+
+class TestAllocationGuard:
+    """The ``max_states`` guard covers the *full* DP allocation.
+
+    Regression for the pre-fix guard, which only checked ``2^n`` and let a
+    long cycle or horizon blow past the limit while "passing": the cyclic
+    chain's true states are ``(S, τ)`` pairs, so a 2^10-subset instance
+    with an 8-position cycle needs 8192 entries, not 1024.
+    """
+
+    @staticmethod
+    def _round_robin(n: int, length: int) -> CyclicSchedule:
+        table = (np.arange(length, dtype=np.int32) % n)[:, None]
+        return CyclicSchedule(ObliviousSchedule.empty(1), ObliviousSchedule(table))
+
+    def test_cyclic_guard_counts_positions(self, engine):
+        inst = SUUInstance(np.full((1, 10), 0.5))
+        cyc = self._round_robin(10, 8)
+        assert (1 << 10) <= (1 << 12)  # the old subset-only guard would pass
+        with pytest.raises(ExactSolverLimitError) as excinfo:
+            expected_makespan_cyclic(inst, cyc, max_states=1 << 12, engine=engine)
+        # the error names the real state count, 2^10 x 8
+        assert "8192" in str(excinfo.value)
+
+    def test_cyclic_at_exactly_the_budget_solves(self, engine):
+        inst = SUUInstance(np.full((1, 6), 0.5))
+        value = expected_makespan_cyclic(
+            inst, self._round_robin(6, 8), max_states=(1 << 6) * 8, engine=engine
+        )
+        assert np.isfinite(value) and value > 6.0
+
+    def test_state_distribution_guard_counts_horizon(self, engine):
+        inst = SUUInstance(np.full((1, 10), 0.5))
+        cyc = self._round_robin(10, 1)
+        with pytest.raises(ExactSolverLimitError) as excinfo:
+            state_distribution(inst, cyc, horizon=8, max_states=1 << 12, engine=engine)
+        assert "9216" in str(excinfo.value)  # 2^10 x (8 + 1)
+
+    def test_state_distribution_at_exactly_the_budget_solves(self, engine):
+        inst = SUUInstance(np.full((1, 6), 0.5))
+        dist = state_distribution(
+            inst,
+            self._round_robin(6, 1),
+            horizon=3,
+            max_states=(1 << 6) * 4,
+            engine=engine,
+        )
+        assert dist.shape == (4, 1 << 6)
+
+    def test_sparse_structure_budget_guard(self):
+        # With many jobs active at once, the sparse engine's transient
+        # subset tables (sum over states of 2^k entries; here 2^2 x 3^7 =
+        # 8748 for 7 served jobs on 9) dwarf the DP table the max_states
+        # guard covers, so they get their own 8x budget.  The scalar path
+        # has no such tables and must still solve the same call.
+        inst = SUUInstance(np.full((7, 9), 0.5))
+        table = np.vstack([np.arange(7), np.arange(2, 9)]).astype(np.int32)
+        cyc = CyclicSchedule(ObliviousSchedule.empty(7), ObliviousSchedule(table))
+        with pytest.raises(ExactSolverLimitError, match="subset-table"):
+            expected_makespan_cyclic(inst, cyc, max_states=1 << 10, engine="sparse")
+        value = expected_makespan_cyclic(inst, cyc, max_states=1 << 10, engine="scalar")
+        assert np.isfinite(value) and value > 1.0

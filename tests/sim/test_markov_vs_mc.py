@@ -32,6 +32,12 @@ def small_case(request):
     return instance, sol
 
 
+@pytest.fixture(params=["sparse", "scalar"])
+def exact_engine(request):
+    """Both exact Markov engines must anchor the same Monte Carlo CIs."""
+    return request.param
+
+
 class TestMarkovVsMonteCarlo:
     def _assert_in_ci(self, est, exact, label):
         half = Z99 * est.std_err + 1e-9
@@ -39,34 +45,34 @@ class TestMarkovVsMonteCarlo:
             f"{label}: mean {est.mean:.4f} outside exact {exact:.4f} ± {half:.4f}"
         )
 
-    def test_scalar_engine_inside_99_ci(self, small_case):
+    def test_scalar_engine_inside_99_ci(self, small_case, exact_engine):
         instance, sol = small_case
-        exact = expected_makespan_regimen(instance, sol.regimen)
+        exact = expected_makespan_regimen(instance, sol.regimen, engine=exact_engine)
         est = estimate_makespan(
             instance, sol.regimen, reps=2000, rng=42, engine="scalar"
         )
         self._assert_in_ci(est, exact, "scalar")
 
-    def test_batched_engine_inside_99_ci(self, small_case):
+    def test_batched_engine_inside_99_ci(self, small_case, exact_engine):
         instance, sol = small_case
-        exact = expected_makespan_regimen(instance, sol.regimen)
+        exact = expected_makespan_regimen(instance, sol.regimen, engine=exact_engine)
         est = estimate_makespan(
             instance, sol.regimen, reps=4000, rng=43, engine="batched"
         )
         self._assert_in_ci(est, exact, "batched")
 
-    def test_workers2_inside_99_ci(self, small_case):
+    def test_workers2_inside_99_ci(self, small_case, exact_engine):
         instance, sol = small_case
-        exact = expected_makespan_regimen(instance, sol.regimen)
+        exact = expected_makespan_regimen(instance, sol.regimen, engine=exact_engine)
         est = estimate_makespan(instance, sol.regimen, reps=4000, rng=44, workers=2)
         self._assert_in_ci(est, exact, "workers=2")
 
-    def test_dp_value_matches_markov_evaluator(self, small_case):
+    def test_dp_value_matches_markov_evaluator(self, small_case, exact_engine):
         # The Malewicz DP's reported optimum and the independent Markov
         # chain evaluation of its regimen are two exact solvers for the
         # same number; they must agree to float precision, not to a CI.
         instance, sol = small_case
-        exact = expected_makespan_regimen(instance, sol.regimen)
+        exact = expected_makespan_regimen(instance, sol.regimen, engine=exact_engine)
         assert exact == pytest.approx(sol.expected_makespan, rel=1e-9)
         # Both engines' means also straddle this one value, tying the
         # whole triangle together (regression anchor for the fuzzer's

@@ -1,4 +1,4 @@
-"""Tests for the exact forward state-distribution solver."""
+"""Tests for the exact forward state-distribution solver (both engines)."""
 
 from __future__ import annotations
 
@@ -15,56 +15,75 @@ from repro.sim import (
 from repro.sim.montecarlo import completion_curve
 
 
+@pytest.fixture(params=["sparse", "scalar"])
+def engine(request):
+    return request.param
+
+
 def cyc(table):
     arr = np.asarray(table, dtype=np.int32)
     return CyclicSchedule(ObliviousSchedule.empty(arr.shape[1]), ObliviousSchedule(arr))
 
 
 class TestStateDistribution:
-    def test_rows_are_distributions(self, tiny_independent):
-        dist = state_distribution(tiny_independent, cyc([[0, 1, 2]]), horizon=6)
+    def test_rows_are_distributions(self, tiny_independent, engine):
+        dist = state_distribution(
+            tiny_independent, cyc([[0, 1, 2]]), horizon=6, engine=engine
+        )
         assert dist.shape == (7, 8)
         np.testing.assert_allclose(dist.sum(axis=1), 1.0)
 
-    def test_initial_point_mass(self, tiny_independent):
-        dist = state_distribution(tiny_independent, cyc([[0, 1, 2]]), horizon=1)
+    def test_initial_point_mass(self, tiny_independent, engine):
+        dist = state_distribution(
+            tiny_independent, cyc([[0, 1, 2]]), horizon=1, engine=engine
+        )
         assert dist[0, 0b111] == 1.0
 
-    def test_absorbing_empty_state(self):
+    def test_absorbing_empty_state(self, engine):
         inst = SUUInstance(np.array([[1.0]]))
-        dist = state_distribution(inst, cyc([[0]]), horizon=4)
+        dist = state_distribution(inst, cyc([[0]]), horizon=4, engine=engine)
         assert dist[1, 0] == 1.0
         assert dist[4, 0] == 1.0
 
-    def test_mass_moves_downward_only(self, tiny_chain):
-        dist = state_distribution(tiny_chain, cyc([[0, 0], [1, 1], [2, 2]]), horizon=8)
+    def test_mass_moves_downward_only(self, tiny_chain, engine):
+        dist = state_distribution(
+            tiny_chain, cyc([[0, 0], [1, 1], [2, 2]]), horizon=8, engine=engine
+        )
         done = dist[:, 0]
         assert np.all(np.diff(done) >= -1e-12)
 
-    def test_guard(self):
+    def test_guard(self, engine):
         inst = SUUInstance(np.full((1, 20), 0.5))
         with pytest.raises(ExactSolverLimitError):
-            state_distribution(inst, cyc([[0]]), horizon=2, max_states=1 << 8)
+            state_distribution(
+                inst, cyc([[0]]), horizon=2, max_states=1 << 8, engine=engine
+            )
 
 
 class TestExactCompletionCurve:
-    def test_matches_monte_carlo(self, tiny_independent, rng):
+    def test_matches_monte_carlo(self, tiny_independent, rng, engine):
         sched = cyc([[0, 1, 2], [2, 0, 1]])
-        exact = exact_completion_curve(tiny_independent, sched, horizon=10)
+        exact = exact_completion_curve(
+            tiny_independent, sched, horizon=10, engine=engine
+        )
         emp = completion_curve(tiny_independent, sched, reps=4000, rng=rng, max_steps=10)
         assert np.abs(exact - emp).max() < 0.04
 
-    def test_consistent_with_expected_makespan(self, tiny_independent):
+    def test_consistent_with_expected_makespan(self, tiny_independent, engine):
         # E[C] = sum_t Pr[C > t] = sum_t (1 - F(t)); truncated sum must
         # lower-bound the exact expectation and converge toward it.
         sched = cyc([[0, 1, 2]])
         horizon = 200
-        curve = exact_completion_curve(tiny_independent, sched, horizon=horizon)
+        curve = exact_completion_curve(
+            tiny_independent, sched, horizon=horizon, engine=engine
+        )
         partial = float(np.sum(1.0 - curve)) + 1.0  # +1 for the t=0 term
-        exact = expected_makespan_cyclic(tiny_independent, sched)
+        exact = expected_makespan_cyclic(tiny_independent, sched, engine=engine)
         assert partial == pytest.approx(exact, abs=1e-3)
 
-    def test_respects_precedence(self, tiny_chain):
-        curve = exact_completion_curve(tiny_chain, cyc([[0, 0], [1, 1], [2, 2]]), horizon=3)
+    def test_respects_precedence(self, tiny_chain, engine):
+        curve = exact_completion_curve(
+            tiny_chain, cyc([[0, 0], [1, 1], [2, 2]]), horizon=3, engine=engine
+        )
         # a 3-chain cannot be done before step 3
         assert curve[0] == 0.0 and curve[1] == 0.0

@@ -89,6 +89,46 @@ class TestInfoSolveSimulate:
         assert "serial" in out
 
 
+class TestExact:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        out = tmp_path / "inst.json"
+        main(["generate", str(out), "-n", "6", "-m", "2", "--dag", "chains", "--seed", "3"])
+        return out
+
+    def _value(self, out: str) -> float:
+        (line,) = [ln for ln in out.splitlines() if "E[makespan] exact" in ln]
+        return float(line.split(":")[1])
+
+    def test_fresh_solve_both_engines_agree(self, instance_file, capsys):
+        values = {}
+        for engine in ("sparse", "scalar"):
+            assert main(["exact", str(instance_file), "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            assert f"engine            : {engine}" in out
+            values[engine] = self._value(out)
+        assert values["sparse"] == pytest.approx(values["scalar"], rel=1e-9)
+        assert values["sparse"] >= 1.0
+
+    def test_saved_schedule_and_curve(self, instance_file, tmp_path, capsys):
+        sched = tmp_path / "sched.json"
+        main(["solve", str(instance_file), "--save", str(sched)])
+        capsys.readouterr()
+        assert (
+            main(
+                ["exact", str(instance_file), "--schedule", str(sched), "--curve", "5"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "algorithm" not in out  # no fresh solve happened
+        assert "Pr[done by   5]" in out
+
+    def test_max_states_guard_reported(self, instance_file, capsys):
+        assert main(["exact", str(instance_file), "--max-states", "4"]) == 2
+        assert "exact solve failed" in capsys.readouterr().err
+
+
 class TestDemo:
     def test_demo_runs(self, capsys):
         assert main(["demo", "--scenario", "independent", "--reps", "10", "--seed", "0"]) == 0
