@@ -14,7 +14,7 @@ from repro import SUUInstance
 from repro.algorithms import LEAN, PAPER, PRACTICAL, suu_i_lp, suu_i_oblivious
 from repro.analysis import Table
 from repro.bounds import lower_bounds
-from repro.sim import estimate_makespan
+from repro import evaluate
 from repro.workloads import probability_matrix
 
 PRESETS = {"paper": PAPER, "practical": PRACTICAL, "lean": LEAN}
@@ -28,8 +28,8 @@ def _sweep(rng):
             inst = SUUInstance(p)
             lb = lower_bounds(inst).best
             result = suu_i_oblivious(inst, constants)
-            est = estimate_makespan(
-                inst, result.schedule, reps=60, rng=rng, max_steps=500_000
+            est = evaluate(
+                inst, result.schedule, mode="mc", reps=60, seed=rng, max_steps=500_000
             )
             rows.append(
                 {
@@ -51,8 +51,8 @@ def _lp_gap(rng):
     out = {}
     for name, constants in PRESETS.items():
         result = suu_i_lp(inst, constants)
-        est = estimate_makespan(
-            inst, result.schedule, reps=60, rng=rng, max_steps=500_000
+        est = evaluate(
+            inst, result.schedule, mode="mc", reps=60, seed=rng, max_steps=500_000
         )
         out[name] = est.mean
     return [out]

@@ -18,7 +18,7 @@ from repro.algorithms import PRACTICAL, solve_chains
 from repro.analysis import Table
 from repro.lp import solve_lp1
 from repro.rounding import round_acc_mass
-from repro.sim import estimate_makespan
+from repro import evaluate
 from repro.workloads import probability_matrix
 
 
@@ -34,8 +34,8 @@ def _delay_rows(rng):
     for mode in ("randomized", "derandomized"):
         constants = PRACTICAL.with_(derandomize_delays=(mode == "derandomized"))
         result = solve_chains(inst, constants, rng=rng)
-        est = estimate_makespan(
-            inst, result.schedule, reps=50, rng=rng, max_steps=400_000
+        est = evaluate(
+            inst, result.schedule, mode="mc", reps=50, seed=rng, max_steps=400_000
         )
         rows.append(
             {

@@ -19,7 +19,8 @@ from repro import CyclicSchedule, ObliviousSchedule, SUUInstance
 from repro.algorithms import round_robin_baseline, serial_baseline
 from repro.analysis import Table
 from repro.opt import optimal_regimen
-from repro.sim import build_execution_tree, expected_makespan_cyclic
+from repro import evaluate
+from repro.sim import build_execution_tree
 
 
 def _cases(rng):
@@ -32,10 +33,10 @@ def _cases(rng):
         cases.append(("optimal regimen", inst, sol.regimen, sol.expected_makespan))
         serial = serial_baseline(inst).schedule
         cases.append(
-            ("serial gang", inst, serial, expected_makespan_cyclic(inst, serial))
+            ("serial gang", inst, serial, evaluate(inst, serial, mode="exact").makespan)
         )
         rr = round_robin_baseline(inst).schedule
-        cases.append(("round robin", inst, rr, expected_makespan_cyclic(inst, rr)))
+        cases.append(("round robin", inst, rr, evaluate(inst, rr, mode="exact").makespan))
     # a deliberately unfair schedule: job 0 served once every 4 steps
     p = np.array([[0.6, 0.6]])
     inst = SUUInstance(p, name="starver")
@@ -43,7 +44,9 @@ def _cases(rng):
         ObliviousSchedule.empty(1),
         ObliviousSchedule(np.array([[1], [1], [1], [0]])),
     )
-    cases.append(("job-0 starving", inst, starve, expected_makespan_cyclic(inst, starve)))
+    cases.append(
+        ("job-0 starving", inst, starve, evaluate(inst, starve, mode="exact").makespan)
+    )
     return cases
 
 

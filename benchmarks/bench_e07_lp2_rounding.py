@@ -15,7 +15,7 @@ import numpy as np
 from repro import SUUInstance
 from repro.algorithms import PRACTICAL, suu_i_lp, suu_i_oblivious
 from repro.analysis import Table, reference_makespan
-from repro.sim import estimate_makespan
+from repro import evaluate
 from repro.workloads import probability_matrix
 
 
@@ -30,12 +30,12 @@ def _sweep(rng):
             ref, _ = reference_makespan(inst, exact_limit=0)
             lp_res = suu_i_lp(inst, PRACTICAL)
             blowups.append(lp_res.certificates["blowup"])
-            est_lp = estimate_makespan(
-                inst, lp_res.schedule, reps=80, rng=rng, max_steps=200_000
+            est_lp = evaluate(
+                inst, lp_res.schedule, mode="mc", reps=80, seed=rng, max_steps=200_000
             )
             obl_res = suu_i_oblivious(inst, PRACTICAL)
-            est_obl = estimate_makespan(
-                inst, obl_res.schedule, reps=80, rng=rng, max_steps=200_000
+            est_obl = evaluate(
+                inst, obl_res.schedule, mode="mc", reps=80, seed=rng, max_steps=200_000
             )
             lp_ratios.append(est_lp.mean / ref)
             obl_ratios.append(est_obl.mean / ref)

@@ -20,7 +20,7 @@ from repro import PrecedenceDAG, SUUInstance
 from repro.algorithms import LEAN, PRACTICAL, serial_baseline, solve_chains
 from repro.analysis import Table, loglog_slope
 from repro.bounds import lower_bounds
-from repro.sim import estimate_makespan
+from repro import evaluate
 from repro.workloads import probability_matrix
 
 
@@ -46,8 +46,8 @@ def _sweep(rng):
             inst = _chain_instance(n, 6, 5000 + seed)
             lb = lower_bounds(inst).best
             result = solve_chains(inst, PRACTICAL, rng=rng)
-            est = estimate_makespan(
-                inst, result.schedule, reps=60, rng=rng, max_steps=400_000
+            est = evaluate(
+                inst, result.schedule, mode="mc", reps=60, seed=rng, max_steps=400_000
             )
             ratios.append(est.mean / lb)
             collisions.append(result.certificates["max_collision"])
@@ -68,8 +68,8 @@ def _crossover(rng):
     inst = SUUInstance(p, PrecedenceDAG.from_chains([[j] for j in range(n)], n))
     fast = solve_chains(inst, LEAN, rng=rng)
     slow = serial_baseline(inst)
-    e_fast = estimate_makespan(inst, fast.schedule, reps=60, rng=rng, max_steps=100_000)
-    e_slow = estimate_makespan(inst, slow.schedule, reps=60, rng=rng, max_steps=100_000)
+    e_fast = evaluate(inst, fast.schedule, mode="mc", reps=60, seed=rng, max_steps=100_000)
+    e_slow = evaluate(inst, slow.schedule, mode="mc", reps=60, seed=rng, max_steps=100_000)
     return {"pipeline": e_fast.mean, "serial": e_slow.mean}
 
 

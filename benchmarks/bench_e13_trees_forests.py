@@ -21,7 +21,7 @@ from repro import SUUInstance
 from repro.algorithms import PRACTICAL, solve_forest, solve_tree
 from repro.analysis import Table, loglog_slope
 from repro.bounds import lower_bounds
-from repro.sim import estimate_makespan
+from repro import evaluate
 from repro.workloads import mixed_forest_dag, out_tree_dag, probability_matrix
 
 
@@ -49,14 +49,14 @@ def _sweep(rng):
             r_tree = solve_tree(tree_inst, PRACTICAL, rng=rng)
             r_forest = solve_forest(forest_inst, PRACTICAL, rng=rng)
             r_forest_on_tree = solve_forest(tree_inst, PRACTICAL, rng=rng)
-            e_tree = estimate_makespan(
-                tree_inst, r_tree.schedule, reps=40, rng=rng, max_steps=600_000
+            e_tree = evaluate(
+                tree_inst, r_tree.schedule, mode="mc", reps=40, seed=rng, max_steps=600_000
             )
-            e_forest = estimate_makespan(
-                forest_inst, r_forest.schedule, reps=40, rng=rng, max_steps=600_000
+            e_forest = evaluate(
+                forest_inst, r_forest.schedule, mode="mc", reps=40, seed=rng, max_steps=600_000
             )
-            e_ft = estimate_makespan(
-                tree_inst, r_forest_on_tree.schedule, reps=40, rng=rng, max_steps=600_000
+            e_ft = evaluate(
+                tree_inst, r_forest_on_tree.schedule, mode="mc", reps=40, seed=rng, max_steps=600_000
             )
             tree_ratios.append(e_tree.mean / lb_t)
             forest_ratios.append(e_forest.mean / lb_f)

@@ -15,12 +15,8 @@ import numpy as np
 from repro import CyclicSchedule, ObliviousSchedule, SUUInstance
 from repro.analysis import Table
 from repro.opt import optimal_regimen
-from repro.sim import (
-    build_execution_tree,
-    estimate_makespan,
-    expected_makespan_cyclic,
-    expected_makespan_regimen,
-)
+from repro import evaluate
+from repro.sim import build_execution_tree
 
 
 def _run(rng):
@@ -33,10 +29,10 @@ def _run(rng):
     # vectorized sparse engine, cross-checked against the scalar golden
     # path — a fourth machinery for the same number)
     sol = optimal_regimen(inst)
-    markov = expected_makespan_regimen(inst, sol.regimen)
-    markov_scalar = expected_makespan_regimen(inst, sol.regimen, engine="scalar")
-    mc = estimate_makespan(
-        inst, sol.regimen.as_policy(), reps=6000, rng=rng, max_steps=10_000
+    markov = evaluate(inst, sol.regimen, mode="exact").makespan
+    markov_scalar = evaluate(inst, sol.regimen, mode="exact", engine="scalar").makespan
+    mc = evaluate(
+        inst, sol.regimen.as_policy(), mode="mc", reps=6000, seed=rng, max_steps=10_000
     )
     rows.append(
         {
@@ -54,15 +50,16 @@ def _run(rng):
         ObliviousSchedule.empty(2),
         ObliviousSchedule(np.array([[0, 1], [2, 0], [1, 2]])),
     )
-    markov_c = expected_makespan_cyclic(inst, sched)
-    markov_c_scalar = expected_makespan_cyclic(inst, sched, engine="scalar")
-    mc_c = estimate_makespan(inst, sched, reps=6000, rng=rng, max_steps=10_000)
+    markov_c = evaluate(inst, sched, mode="exact").makespan
+    markov_c_scalar = evaluate(inst, sched, mode="exact", engine="scalar").makespan
+    mc_c = evaluate(inst, sched, mode="mc", reps=6000, seed=rng, max_steps=10_000)
     # execution tree: exact Pr[all done by t] for t = 6; cross-check with
     # the empirical CDF
     tree = build_execution_tree(inst, sched, depth=6, job=0, max_nodes=400_000)
     p_done_exact = tree.prob_all_finished()
-    est = estimate_makespan(
-        inst, sched, reps=6000, rng=np.random.default_rng(1), max_steps=10_000, keep_samples=True
+    est = evaluate(
+        inst, sched, mode="mc", reps=6000, seed=np.random.default_rng(1),
+        max_steps=10_000, keep_samples=True,
     )
     p_done_emp = float((est.samples <= 6).mean())
     rows.append(

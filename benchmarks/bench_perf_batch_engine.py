@@ -24,7 +24,7 @@ from repro import SUUInstance
 from repro.algorithms import suu_i_adaptive
 from repro.analysis import Table
 from repro.experiments.suites import A3_REGIMES
-from repro.sim import estimate_makespan
+from repro import evaluate
 
 REPS = 1000
 MAX_STEPS = 300_000
@@ -38,13 +38,13 @@ def _measure():
         )
         policy = suu_i_adaptive(inst).schedule
         t0 = time.perf_counter()
-        scalar = estimate_makespan(
-            inst, policy, reps=REPS, rng=1, max_steps=MAX_STEPS, engine="scalar"
+        scalar = evaluate(
+            inst, policy, mode="mc", reps=REPS, seed=1, max_steps=MAX_STEPS, engine="scalar"
         )
         t_scalar = time.perf_counter() - t0
         t0 = time.perf_counter()
-        batched = estimate_makespan(
-            inst, policy, reps=REPS, rng=2, max_steps=MAX_STEPS, engine="batched"
+        batched = evaluate(
+            inst, policy, mode="mc", reps=REPS, seed=2, max_steps=MAX_STEPS, engine="batched"
         )
         t_batched = time.perf_counter() - t0
         rows.append(

@@ -1,7 +1,8 @@
 """PERF — vectorized sparse exact-Markov engine vs the scalar golden path.
 
-Solves the Figure-1 subset-lattice DP with both engines on the same
-workloads and records the wall-clock speedup:
+Solves the Figure-1 subset-lattice DP with both engines (through the
+``repro.evaluate`` front door, ``mode="exact"``) on the same workloads and
+records the wall-clock speedup:
 
 * **regimen** (the acceptance workload): the eligible-set round-robin
   regimen on an n-job chains instance — 2^n states, each with its own
@@ -29,7 +30,7 @@ import time
 
 from repro.algorithms import round_robin_baseline, state_round_robin_regimen
 from repro.analysis import Table
-from repro.sim import expected_makespan_cyclic, expected_makespan_regimen
+from repro import evaluate
 from repro.workloads import random_instance
 
 #: Regimen workload size; the acceptance claim is pinned at n = 14.
@@ -57,10 +58,10 @@ def _measure():
     inst = random_instance(N, M, dag_kind="chains", num_chains=4, rng=7)
     regimen = state_round_robin_regimen(inst).schedule
     t_sparse, v_sparse = _best_of(
-        lambda: expected_makespan_regimen(inst, regimen, engine="sparse")
+        lambda: evaluate(inst, regimen, mode="exact", engine="sparse").makespan
     )
     t0 = time.perf_counter()
-    v_scalar = expected_makespan_regimen(inst, regimen, engine="scalar")
+    v_scalar = evaluate(inst, regimen, mode="exact", engine="scalar").makespan
     t_scalar = time.perf_counter() - t0
     rows.append(
         {
@@ -76,10 +77,10 @@ def _measure():
     inst_c = random_instance(N_CYCLIC, M, dag_kind="layered", layers=4, rng=9)
     cyclic = round_robin_baseline(inst_c).schedule
     t_sparse, v_sparse = _best_of(
-        lambda: expected_makespan_cyclic(inst_c, cyclic, engine="sparse")
+        lambda: evaluate(inst_c, cyclic, mode="exact", engine="sparse").makespan
     )
     t0 = time.perf_counter()
-    v_scalar = expected_makespan_cyclic(inst_c, cyclic, engine="scalar")
+    v_scalar = evaluate(inst_c, cyclic, mode="exact", engine="scalar").makespan
     t_scalar = time.perf_counter() - t0
     rows.append(
         {

@@ -16,7 +16,8 @@ from repro import SUUInstance
 from repro.algorithms import LEAN, PRACTICAL, serial_baseline, solve_layered
 from repro.analysis import Table
 from repro.bounds import lower_bounds
-from repro.sim import estimate_makespan, simulate
+from repro import evaluate
+from repro.sim import simulate
 from repro.workloads import layered_dag, probability_matrix
 
 
@@ -36,11 +37,11 @@ def _sweep(rng):
             assert res.finished
             for (u, v) in inst.dag.edges:
                 assert res.completion[u] < res.completion[v]
-            est = estimate_makespan(
-                inst, result.schedule, reps=50, rng=rng, max_steps=400_000
+            est = evaluate(
+                inst, result.schedule, mode="mc", reps=50, seed=rng, max_steps=400_000
             )
-            est_serial = estimate_makespan(
-                inst, serial_baseline(inst).schedule, reps=50, rng=rng, max_steps=400_000
+            est_serial = evaluate(
+                inst, serial_baseline(inst).schedule, mode="mc", reps=50, seed=rng, max_steps=400_000
             )
             ratios.append(est.mean / lb)
             serial_ratios.append(est_serial.mean / lb)
@@ -60,11 +61,11 @@ def _crossover(rng):
     dag = layered_dag(n, layers=depth, rng=gen, edge_prob=0.3)
     inst = SUUInstance(probability_matrix(m, n, rng=gen, lo=0.5, hi=0.95), dag)
     result = solve_layered(inst, LEAN, rng=rng)
-    e_layered = estimate_makespan(
-        inst, result.schedule, reps=40, rng=rng, max_steps=200_000
+    e_layered = evaluate(
+        inst, result.schedule, mode="mc", reps=40, seed=rng, max_steps=200_000
     ).mean
-    e_serial = estimate_makespan(
-        inst, serial_baseline(inst).schedule, reps=40, rng=rng, max_steps=200_000
+    e_serial = evaluate(
+        inst, serial_baseline(inst).schedule, mode="mc", reps=40, seed=rng, max_steps=200_000
     ).mean
     return {"n": n, "m": m, "layered": e_layered, "serial": e_serial}
 

@@ -23,9 +23,9 @@ import numpy as np
 
 from repro import SUUInstance
 from repro.algorithms import PRACTICAL, suu_i_adaptive, suu_i_lp, suu_i_oblivious
+from repro import evaluate
 from repro.analysis import Table
 from repro.bounds import lower_bounds
-from repro.sim import estimate_makespan
 
 rng = np.random.default_rng(21)
 
@@ -51,10 +51,8 @@ for regime, (lo, hi) in REGIMES.items():
         "oblivious LP (Thm 4.5)": suu_i_lp(inst, PRACTICAL),
     }
     for name, result in algos.items():
-        est = estimate_makespan(
-            inst, result.schedule, reps=150, rng=rng, max_steps=200_000
-        )
-        table.add_row([regime, name, est.mean, est.std_err, est.mean / lb])
+        est = evaluate(inst, result, mode="mc", reps=150, seed=rng, max_steps=200_000)
+        table.add_row([regime, name, est.makespan, est.std_err, est.makespan / lb])
 
 print(table.render())
 print(

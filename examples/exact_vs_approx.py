@@ -28,8 +28,8 @@ from repro.algorithms import (
     solve_chains,
 )
 from repro.analysis import Table
+from repro import evaluate
 from repro.opt import optimal_regimen
-from repro.sim import estimate_makespan, expected_makespan_regimen
 
 rng = np.random.default_rng(4)
 
@@ -43,10 +43,13 @@ print(f"DAG width: {inst.dag.width()}, machines: {inst.m} (both constant -> DP i
 # --- exact solution -------------------------------------------------------
 sol = optimal_regimen(inst)
 print(f"\nexact optimal expected makespan (DP):        {sol.expected_makespan:.4f}")
-recheck = expected_makespan_regimen(inst, sol.regimen)
-print(f"re-evaluated through the Markov chain:       {recheck:.4f}")
-mc = estimate_makespan(inst, sol.regimen.as_policy(), reps=4000, rng=rng, max_steps=50_000)
-print(f"Monte-Carlo estimate ({mc.n_reps} runs):            {mc.mean:.4f} ± {mc.std_err:.4f}")
+# Same front door, two modes: evaluate(mode="exact") re-solves the regimen's
+# Markov chain, evaluate(mode="mc") samples it — three independent
+# computations, one number.
+recheck = evaluate(inst, sol.regimen, mode="exact")
+print(f"re-evaluated through the Markov chain:       {recheck.makespan:.4f}")
+mc = evaluate(inst, sol.regimen.as_policy(), mode="mc", reps=4000, seed=rng, max_steps=50_000)
+print(f"Monte-Carlo estimate ({mc.n_reps} runs):            {mc.makespan:.4f} ± {mc.std_err:.4f}")
 
 # --- a peek inside the regimen -------------------------------------------
 print("\noptimal assignment for a few unfinished-sets:")
@@ -67,8 +70,8 @@ contenders = {
 
 table = Table(["algorithm", "E[makespan]", "ratio vs OPT"], title="who pays what")
 for name, schedule in contenders.items():
-    est = estimate_makespan(inst, schedule, reps=800, rng=rng, max_steps=100_000)
-    table.add_row([name, est.mean, est.mean / sol.expected_makespan])
+    est = evaluate(inst, schedule, mode="mc", reps=800, seed=rng, max_steps=100_000)
+    table.add_row([name, est.makespan, est.makespan / sol.expected_makespan])
 print("\n" + table.render())
 print(
     "\nNote: running plain SUU-I-ALG on the chain-free relaxation can\n"

@@ -22,7 +22,7 @@ from repro import solve
 from repro.algorithms import serial_baseline
 from repro.analysis import Table
 from repro.decomp import decompose_forest, lemma46_width_bound
-from repro.sim import completion_curve, estimate_makespan
+from repro import evaluate
 from repro.workloads import grid_computing
 
 rng = np.random.default_rng(11)
@@ -46,9 +46,9 @@ result = solve(instance, rng=rng)  # dispatches to solve_tree (Thm 4.8)
 print(f"\nalgorithm: {result.algorithm}")
 print(f"guarantee: {result.certificates['guarantee']}")
 
-est = estimate_makespan(instance, result.schedule, reps=200, rng=rng, max_steps=300_000)
+est = evaluate(instance, result, mode="mc", reps=200, seed=rng, max_steps=300_000)
 serial = serial_baseline(instance)
-est_serial = estimate_makespan(instance, serial.schedule, reps=200, rng=rng, max_steps=300_000)
+est_serial = evaluate(instance, serial, mode="mc", reps=200, seed=rng, max_steps=300_000)
 
 table = Table(["schedule", "E[steps]", "±se"], title="grid task completion")
 table.add_row(["tree pipeline (Thm 4.8)", est.mean, est.std_err])
@@ -57,7 +57,10 @@ print("\n" + table.render())
 
 # --- provisioning: completion probability over time ----------------------
 horizon = int(est.mean * 2)
-curve = completion_curve(instance, result.schedule, reps=200, rng=rng, max_steps=horizon)
+curve = evaluate(
+    instance, result, mode="mc", metrics="completion_curve",
+    reps=200, seed=rng, horizon=horizon,
+).completion_curve
 targets = [0.5, 0.9, 0.95]
 print("\ncompletion-probability milestones (tree pipeline):")
 for q in targets:

@@ -6,9 +6,13 @@ Covers the three basic moves of the library:
 1. describe the problem (probability matrix + precedence DAG),
 2. call ``solve()`` to get a schedule with the paper's guarantee for the
    instance's DAG class,
-3. run the stochastic simulator to estimate the expected makespan and
-   compare against the exact optimum (the instance is small enough for the
-   Malewicz dynamic program).
+3. call ``evaluate()`` — the one front door for judging any schedule —
+   and compare against the exact optimum (the instance is small enough for
+   the Malewicz dynamic program).
+
+The whole API is two calls: ``solve()`` then ``evaluate()``.  The front
+door picks the cheapest engine (exact Markov chain when the 2^n state
+guard admits it, Monte Carlo otherwise) and reports which one it used.
 
 Run:  python examples/quickstart.py
 """
@@ -17,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PrecedenceDAG, SUUInstance, estimate_makespan, solve
+from repro import PrecedenceDAG, SUUInstance, evaluate, solve
 from repro.algorithms import serial_baseline, suu_i_adaptive
 from repro.opt import optimal_expected_makespan
 
@@ -44,22 +48,33 @@ print(f"core schedule length: {result.certificates['core_length']} steps")
 print(f"min job mass in core: {result.certificates['min_mass']:.3f} (target 0.5)")
 
 # ----------------------------------------------------------------------
-# 3. Estimate the expected makespan by Monte Carlo and compare against
-#    the exact optimum and two reference schedules.
+# 3. Evaluate through the front door and compare against the exact
+#    optimum and two reference schedules.  evaluate() auto-dispatches: at
+#    n=8 the cyclic schedules' Markov chains fit the 2^n state guard, so
+#    both answers below come back *exact* (std_err 0, engine provenance
+#    says markov-sparse); at larger n the same call silently becomes a
+#    Monte Carlo estimate.  Pass mode="mc" or mode="exact" to force.
 # ----------------------------------------------------------------------
-est = estimate_makespan(instance, result.schedule, reps=300, rng=rng, max_steps=100_000)
-print(f"\nE[makespan] of the oblivious schedule: {est.mean:.1f} ± {est.std_err:.1f}")
+def show(label, report):
+    err = "(exact)" if report.exact else f"± {report.std_err:.1f}"
+    print(f"{label} {report.makespan:.1f} {err}   [engine: {report.engine}]")
+
+
+est = evaluate(instance, result, reps=300, seed=rng, max_steps=100_000)
+print()
+show("E[makespan] of the oblivious schedule:", est)
+print(f"  dispatch: {est.reason}")
 
 adaptive = suu_i_adaptive(instance.with_dag(None))  # drop chains: SUU-I view
-est_serial = estimate_makespan(
-    instance, serial_baseline(instance).schedule, reps=300, rng=rng, max_steps=100_000
+est_serial = evaluate(
+    instance, serial_baseline(instance), reps=300, seed=rng, max_steps=100_000
 )
-print(f"E[makespan] of the serial baseline:    {est_serial.mean:.1f} ± {est_serial.std_err:.1f}")
+show("E[makespan] of the serial baseline:   ", est_serial)
 
 topt = optimal_expected_makespan(instance)
 print(f"exact optimal expected makespan:       {topt:.2f}")
 print(
-    f"\nmeasured ratio: {est.mean / topt:.1f}x optimal "
+    f"\nmeasured ratio: {est.makespan / topt:.1f}x optimal "
     "(the Thm 4.4 guarantee is polylogarithmic — constants dominate at this size;"
 )
 print("see benchmarks/bench_e10_chains.py for the growth curve)")

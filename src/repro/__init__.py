@@ -7,15 +7,22 @@ rely on (LP relaxations, integral max-flow rounding, chain decomposition,
 random-delay scheduling, schedule replication), exact reference solvers, a
 stochastic simulator, workload generators, and an experiment harness.
 
-Quickstart::
+Quickstart — two calls, ``solve`` then ``evaluate``::
 
     import numpy as np
-    from repro import SUUInstance, solve, estimate_makespan
+    from repro import SUUInstance, solve, evaluate
 
     rng = np.random.default_rng(0)
     inst = SUUInstance(rng.uniform(0.05, 0.9, size=(4, 10)))  # 4 machines, 10 jobs
     result = solve(inst, rng=rng)
-    print(estimate_makespan(inst, result.schedule, reps=200, rng=rng))
+    print(evaluate(inst, result, seed=0))
+
+``evaluate()`` is the one front door for judging any schedule: it picks
+the cheapest engine satisfying the request (exact Markov when the state
+guard admits it, batched/lockstep Monte Carlo otherwise, sharded parallel
+when ``workers=`` is set) and returns an ``EvaluationReport`` with engine
+provenance.  The pre-front-door entry points (``estimate_makespan``,
+``expected_makespan_*``, ...) remain as deprecated shims.
 """
 
 from .core import (
@@ -54,6 +61,25 @@ from .sim import (
     simulate_batch,
 )
 
+# The subpackage and the front-door function share the name on purpose:
+# after these imports the attribute ``repro.evaluate`` is the *callable*
+# (the module stays reachable as ``repro.evaluate`` in import statements
+# via sys.modules, e.g. ``from repro.evaluate import EvaluationRequest``).
+from .evaluate import EvaluationReport, EvaluationRequest
+from .evaluate import evaluate as evaluate
+
+# Dual nature: the subpackage's full public surface is mirrored onto the
+# function object, so every idiom works — ``repro.evaluate(inst, s)``,
+# ``repro.evaluate.evaluate(inst, s)`` (what the deprecation warnings
+# spell out), and ``repro.evaluate.<any __all__ name>`` after a plain
+# ``import repro.evaluate``.
+import sys as _sys
+
+_evaluate_module = _sys.modules[__name__ + ".evaluate"]
+for _name in _evaluate_module.__all__:
+    setattr(evaluate, _name, getattr(_evaluate_module, _name))
+del _sys, _name, _evaluate_module
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -90,6 +116,10 @@ __all__ = [
     "expected_makespan_regimen",
     "simulate",
     "simulate_batch",
+    # evaluation front door (re-exported lazily below)
+    "evaluate",
+    "EvaluationRequest",
+    "EvaluationReport",
     # algorithms / experiments (re-exported lazily below)
     "solve",
     "PAPER",

@@ -15,8 +15,8 @@ from ..bounds.lower import lower_bounds
 from ..core.instance import SUUInstance
 from ..core.schedule import ScheduleResult
 from ..errors import ExactSolverLimitError
+from ..evaluate import evaluate
 from ..opt.malewicz import optimal_expected_makespan
-from ..sim.montecarlo import estimate_makespan
 
 __all__ = ["RatioRecord", "measure_ratio", "reference_makespan", "compare_algorithms"]
 
@@ -89,8 +89,11 @@ def measure_ratio(
     if reference is None:
         reference = reference_makespan(instance, exact_limit=exact_limit)
     ref_value, ref_kind = reference
-    est = estimate_makespan(
-        instance, result.schedule, reps=reps, rng=rng, max_steps=max_steps
+    # mode="mc" keeps the historical sampling semantics (and bitwise
+    # streams) regardless of whether the schedule would admit an exact
+    # solve — ratios compare like with like across algorithms.
+    est = evaluate(
+        instance, result.schedule, mode="mc", reps=reps, seed=rng, max_steps=max_steps
     )
     return RatioRecord(
         instance=instance.name or repr(instance),

@@ -22,7 +22,7 @@ import numpy as np
 from .._util import as_rng
 from ..core.instance import SUUInstance
 from ..errors import ValidationError
-from ..sim.montecarlo import estimate_makespan
+from ..evaluate import evaluate
 
 __all__ = ["PerturbationResult", "perturb_instance", "robustness_curve"]
 
@@ -96,15 +96,15 @@ def robustness_curve(
             if scale == 1.0 and noise == 0.0
             else perturb_instance(instance, scale=scale, noise=noise, rng=rng)
         )
-        est = estimate_makespan(
-            world, schedule, reps=reps, rng=rng, max_steps=max_steps
+        est = evaluate(
+            world, schedule, mode="mc", reps=reps, seed=rng, max_steps=max_steps
         )
         means.append(est.mean)
         if scale == 1.0:
             nominal = est.mean
     if nominal is None:
-        nominal_est = estimate_makespan(
-            instance, schedule, reps=reps, rng=rng, max_steps=max_steps
+        nominal_est = evaluate(
+            instance, schedule, mode="mc", reps=reps, seed=rng, max_steps=max_steps
         )
         nominal = nominal_est.mean
     return PerturbationResult(

@@ -5,12 +5,17 @@ Subcommands
 ``generate``         write a random instance to JSON
 ``info``             structural summary of an instance file
 ``solve``            schedule an instance, print certificates, optionally save
-``simulate``         Monte-Carlo makespan estimate for an instance (+ baselines)
-``exact``            exact expected makespan via the Markov-chain engine
+``evaluate``         the one evaluation front door (repro.evaluate): exact or
+                     MC, auto-dispatched, with engine provenance
+``simulate``         legacy alias: Monte-Carlo estimate + baselines table
+``exact``            legacy alias of ``evaluate --mode exact``
 ``gantt``            render a schedule (or a fresh solve) as an ASCII Gantt chart
 ``demo``             end-to-end demonstration on a built-in scenario
 ``run-experiments``  run a named experiment suite through the cached runner
 ``fuzz``             differential cross-engine verification (repro.verify)
+
+Every makespan number any subcommand prints flows through
+:func:`repro.evaluate.evaluate`.
 """
 
 from __future__ import annotations
@@ -84,7 +89,57 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--save", type=Path, help="write the schedule JSON here")
 
-    r = sub.add_parser("simulate", help="estimate expected makespan")
+    ev = sub.add_parser(
+        "evaluate",
+        help="evaluate a schedule through the one front door "
+        "(auto-dispatching exact / MC / sharded engine selection)",
+    )
+    ev.add_argument("input", type=Path, help="instance .json")
+    ev.add_argument(
+        "--schedule", type=Path, help="schedule .json (default: solve now)"
+    )
+    ev.add_argument("--method", default="auto")
+    ev.add_argument("--constants", default="practical", choices=sorted(_PRESETS))
+    ev.add_argument(
+        "--mode",
+        default="auto",
+        choices=["auto", "exact", "mc"],
+        help="auto picks exact when the 2^n state guard admits it",
+    )
+    ev.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        choices=["makespan", "completion-curve", "state-distribution"],
+        help="repeatable; default: makespan",
+    )
+    ev.add_argument("--reps", type=int, default=200)
+    ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--max-steps", type=int, default=200_000)
+    ev.add_argument(
+        "--horizon", type=int, default=None, help="curve/distribution length"
+    )
+    ev.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "sparse", "scalar", "batched"],
+        help="sparse forces the exact route, batched the MC route",
+    )
+    ev.add_argument("--max-states", type=int, default=None)
+    ev.add_argument("--rtol", type=float, default=None, help="target relative CI half-width")
+    ev.add_argument("--target-ci", type=float, default=None, help="target absolute CI half-width")
+    ev.add_argument("--budget", type=int, default=None, help="max total replications for --rtol/--target-ci")
+    ev.add_argument("--workers", type=int, default=None, help="sharded parallel MC worker processes")
+    ev.add_argument("--executor", default=None, choices=["serial", "process"])
+    ev.add_argument("--shards", type=int, default=None)
+    ev.add_argument("--require-finished", action="store_true")
+    ev.add_argument("--json", type=Path, help="also write the full report JSON here")
+
+    r = sub.add_parser(
+        "simulate",
+        help="estimate expected makespan (legacy alias: the baselines "
+        "comparison table; single-schedule evaluation lives in `evaluate`)",
+    )
     r.add_argument("input", type=Path)
     r.add_argument("--method", default="auto")
     r.add_argument("--constants", default="practical", choices=sorted(_PRESETS))
@@ -95,7 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     x = sub.add_parser(
         "exact",
-        help="exact expected makespan of a cyclic schedule (Figure-1 Markov chain)",
+        help="exact expected makespan of a cyclic schedule "
+        "(legacy alias of `evaluate --mode exact`)",
     )
     x.add_argument("input", type=Path, help="instance .json")
     x.add_argument(
@@ -286,55 +342,127 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_exact(args) -> int:
-    from .core import CyclicSchedule
-    from .errors import ExactSolverLimitError, ScheduleError
-    from .sim import exact_completion_curve, expected_makespan_cyclic
-    from .sim.exact import DEFAULT_MAX_STATES
+def _load_or_solve_schedule(args, inst, cyclic_only: bool):
+    """Shared schedule acquisition for `evaluate` / `exact` / `gantt`.
 
-    inst = _load_instance(args.input)
+    Returns ``(schedule, error_exit_code)`` — exactly one is non-None.
+    """
+    from .core import CyclicSchedule, ObliviousSchedule
+
     if args.schedule:
         data = json.loads(args.schedule.read_text())
-        if data.get("kind") != "cyclic":
+        if data.get("kind") == "cyclic":
+            return CyclicSchedule.from_dict(data), None
+        if cyclic_only:
             print(
                 "exact evaluation needs a cyclic schedule "
                 "(a finite one may never finish)",
                 file=sys.stderr,
             )
-            return 2
-        schedule = CyclicSchedule.from_dict(data)
-    else:
-        result = solve(
-            inst, constants=_PRESETS[args.constants], rng=args.seed, method=args.method
+            return None, 2
+        return ObliviousSchedule.from_dict(data), None
+    result = solve(
+        inst, constants=_PRESETS[args.constants], rng=args.seed, method=args.method
+    )
+    if cyclic_only and not isinstance(result.schedule, CyclicSchedule):
+        print(
+            f"{result.algorithm} produced a non-cyclic schedule; pass "
+            "--schedule with a cyclic one",
+            file=sys.stderr,
         )
-        if not isinstance(result.schedule, CyclicSchedule):
-            print(
-                f"{result.algorithm} produced a non-cyclic schedule; pass "
-                "--schedule with a cyclic one",
-                file=sys.stderr,
-            )
-            return 2
-        schedule = result.schedule
-        print(f"algorithm: {result.algorithm}")
-    max_states = args.max_states if args.max_states is not None else DEFAULT_MAX_STATES
+        return None, 2
+    print(f"algorithm: {result.algorithm}")
+    return result.schedule, None
+
+
+def _cmd_evaluate(args) -> int:
+    from .errors import ReproError
+    from .evaluate import EvaluationRequest, evaluate
+
+    inst = _load_instance(args.input)
+    schedule, err = _load_or_solve_schedule(args, inst, cyclic_only=False)
+    if err is not None:
+        return err
+    metrics = tuple(args.metric) if args.metric else ("makespan",)
     try:
-        value = expected_makespan_cyclic(
-            inst, schedule, max_states=max_states, engine=args.engine
+        request = EvaluationRequest(
+            metrics=metrics,
+            mode=args.mode,
+            reps=args.reps,
+            seed=args.seed,
+            max_steps=args.max_steps,
+            horizon=args.horizon,
+            rtol=args.rtol,
+            target_ci=args.target_ci,
+            budget=args.budget,
+            engine=args.engine,
+            max_states=args.max_states,
+            workers=args.workers,
+            executor=args.executor,
+            shards=args.shards,
+            require_finished=args.require_finished,
         )
-        curve = (
-            exact_completion_curve(
-                inst, schedule, args.curve, max_states=max_states, engine=args.engine
+        report = evaluate(inst, schedule, request=request)
+    except ReproError as exc:
+        print(f"evaluation failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"mode              : {report.mode}")
+    print(f"engine            : {report.engine}")
+    print(f"schedule kind     : {report.schedule_kind}")
+    print(f"dispatch          : {report.reason}")
+    if report.makespan is not None:
+        if report.exact:
+            print(f"E[makespan] exact : {report.makespan:.9f}")
+        else:
+            lo, hi = report.ci95
+            line = (
+                f"E[makespan]       : {report.makespan:.4f} ± {report.std_err:.4f} "
+                f"(95% CI [{lo:.4f}, {hi:.4f}], reps={report.n_reps}"
             )
-            if args.curve > 0
-            else None
+            if report.truncated:
+                line += f", truncated={report.truncated}"
+            print(line + ")")
+    if report.completion_curve is not None:
+        for t, pr in enumerate(report.completion_curve, start=1):
+            print(f"  Pr[done by {t:3d}] = {pr:.6f}")
+    if report.state_distribution is not None:
+        print(
+            f"state distribution: {report.state_distribution.shape[0]} rows x "
+            f"{report.state_distribution.shape[1]} states (use --json to export)"
         )
-    except (ExactSolverLimitError, ScheduleError) as exc:
+    print(f"wall time         : {report.wall_time_s:.3f}s")
+    if args.json:
+        args.json.write_text(report.to_json(indent=2))
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    from .errors import ReproError
+    from .evaluate import evaluate
+
+    inst = _load_instance(args.input)
+    schedule, err = _load_or_solve_schedule(args, inst, cyclic_only=True)
+    if err is not None:
+        return err
+    metrics = ("makespan", "completion_curve") if args.curve > 0 else ("makespan",)
+    try:
+        report = evaluate(
+            inst,
+            schedule,
+            metrics=metrics,
+            mode="exact",
+            engine=args.engine,
+            max_states=args.max_states,
+            horizon=args.curve if args.curve > 0 else None,
+        )
+    except ReproError as exc:
         print(f"exact solve failed: {exc}", file=sys.stderr)
         return 2
     print(f"engine            : {args.engine}")
-    print(f"E[makespan] exact : {value:.9f}")
-    if curve is not None:
-        for t, pr in enumerate(curve, start=1):
+    print(f"E[makespan] exact : {report.makespan:.9f}")
+    if report.completion_curve is not None:
+        for t, pr in enumerate(report.completion_curve, start=1):
             print(f"  Pr[done by {t:3d}] = {pr:.6f}")
     return 0
 
@@ -506,6 +634,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "solve": _cmd_solve,
+        "evaluate": _cmd_evaluate,
         "simulate": _cmd_simulate,
         "exact": _cmd_exact,
         "gantt": _cmd_gantt,

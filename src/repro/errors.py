@@ -67,6 +67,29 @@ class CensoredEstimateWarning(UserWarning):
     """A Monte Carlo estimate includes replications censored at the step budget.
 
     The reported mean is then only a lower bound on the true expectation.
-    Emitted by :func:`repro.sim.montecarlo.estimate_makespan`; silence it
-    only after deciding the bias is acceptable for the use at hand.
+    Emitted (via :func:`warn_censored`, so every route words it
+    identically) by the estimator, the sharded merge, and the evaluation
+    front door; silence it only after deciding the bias is acceptable for
+    the use at hand.
     """
+
+
+def warn_censored(truncated: int, reps: int, max_steps: int, stacklevel: int) -> None:
+    """Emit the one canonical censoring warning.
+
+    Shared by the single-stream estimator, the sharded merge, and the
+    front door's adaptive-precision loop, so "exactly one warning,
+    identical wording, for every route" is a property of this function
+    rather than of three hand-synced string literals.
+    """
+    import warnings
+
+    warnings.warn(
+        CensoredEstimateWarning(
+            f"{truncated}/{reps} replications were censored at the "
+            f"{max_steps}-step budget; the reported mean is a lower bound "
+            "on the true expected makespan — enlarge max_steps or pass "
+            "require_finished=True"
+        ),
+        stacklevel=stacklevel + 1,
+    )

@@ -1,0 +1,38 @@
+"""One front door for evaluation: ``repro.evaluate.evaluate()``.
+
+The paper judges every schedule family the same way — expected makespan
+(and completion behavior) under the Def 2.1 stochastic execution model —
+so the repo exposes exactly one evaluation API:
+
+    from repro import solve, evaluate
+
+    result = solve(instance, rng=0)
+    report = evaluate(instance, result.schedule, seed=0)
+    print(report)          # E[makespan], CI or exactness, engine provenance
+
+``evaluate()`` dispatches any schedule kind (cyclic, finite oblivious,
+regimen, adaptive policy) to the cheapest engine satisfying the request:
+exact sparse Markov when the ``2^n × width`` guard admits it, batched or
+lockstep Monte Carlo otherwise, and the sharded parallel backend when
+``workers=`` is set.  See :class:`EvaluationRequest` for the knobs and
+:class:`EvaluationReport` for the result shape.
+"""
+
+from .dispatch import Route, exact_state_cost, exact_supported, schedule_kind, select_route
+from .facade import evaluate
+from .report import EvaluationReport
+from .request import ENGINES, METRICS, MODES, EvaluationRequest
+
+__all__ = [
+    "evaluate",
+    "EvaluationRequest",
+    "EvaluationReport",
+    "Route",
+    "select_route",
+    "schedule_kind",
+    "exact_supported",
+    "exact_state_cost",
+    "METRICS",
+    "MODES",
+    "ENGINES",
+]

@@ -1,0 +1,291 @@
+"""``evaluate()`` — the one front door for judging a schedule.
+
+Every consumer in the repo (CLI, experiment runner, differential fuzzer,
+benchmarks, examples) asks the same question through this function; the
+dispatcher (:mod:`repro.evaluate.dispatch`) picks the cheapest engine
+that serves the request and the answer always arrives as an
+:class:`~repro.evaluate.report.EvaluationReport` with engine provenance.
+
+The legacy entry points (``estimate_makespan``, ``expected_makespan_*``,
+``completion_curve``, ``exact_completion_curve``, ``state_distribution``)
+remain as deprecation shims for external callers; internally only this
+module talks to the engine layer (enforced by
+``tools/check_legacy_callsites.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import warnings
+
+import numpy as np
+
+from .._util import as_rng
+from ..core.instance import SUUInstance
+from ..core.schedule import Regimen, ScheduleResult
+from ..errors import CensoredEstimateWarning, ValidationError, warn_censored
+from ..sim.exact.lattice import DEFAULT_MAX_STATES
+from .dispatch import Route, schedule_kind, select_route
+from .report import EvaluationReport
+from .request import EvaluationRequest
+
+__all__ = ["evaluate"]
+
+
+def evaluate(
+    instance: SUUInstance,
+    schedule,
+    request: EvaluationRequest | None = None,
+    **kwargs,
+) -> EvaluationReport:
+    """Evaluate ``schedule`` on ``instance`` under the Def 2.1 model.
+
+    Either pass a pre-built :class:`EvaluationRequest`, or keyword
+    arguments that construct one (``metrics=``, ``mode=``, ``reps=``,
+    ``seed=``, ``workers=``, ...; see the request class for the full
+    list).  ``schedule`` may be any schedule kind — cyclic, finite
+    oblivious, regimen, adaptive policy — or a
+    :class:`~repro.core.schedule.ScheduleResult`, which is unwrapped.
+
+    Routing (``mode="auto"``): exact sparse Markov when the schedule has
+    a finite chain within the ``max_states`` guard, batched/lockstep
+    Monte Carlo otherwise, sharded parallel MC when ``workers`` /
+    ``executor`` / ``shards`` is set.  ``mode="exact"`` / ``mode="mc"``
+    force a route.  With ``mode="mc"`` and an integer ``seed`` the
+    samples are bitwise identical to the legacy single-stream estimator
+    at the same seed.
+
+    Censoring surfaces uniformly: any route whose replications hit the
+    step budget emits one :class:`~repro.errors.CensoredEstimateWarning`
+    (or raises with ``require_finished=True``), and an exact solve past
+    its guard raises :class:`~repro.errors.ExactSolverLimitError` —
+    identically for every schedule kind and backend.
+    """
+    if isinstance(schedule, ScheduleResult):
+        schedule = schedule.schedule
+    if request is None:
+        request = EvaluationRequest(**kwargs)
+    elif kwargs:
+        raise ValidationError(
+            "pass either a pre-built EvaluationRequest or keyword arguments, "
+            f"not both (got request= plus {sorted(kwargs)})"
+        )
+    if hasattr(schedule, "validate_against"):  # oblivious / cyclic tables
+        schedule.validate_against(instance)
+    route = select_route(instance, schedule, request)
+    t0 = time.perf_counter()
+    if route.mode == "exact":
+        report = _run_exact(instance, schedule, request, route)
+    else:
+        report = _run_mc(instance, schedule, request, route)
+    report.wall_time_s = time.perf_counter() - t0
+    return report
+
+
+# ----------------------------------------------------------------------
+# Exact route
+# ----------------------------------------------------------------------
+def _run_exact(
+    instance: SUUInstance,
+    schedule,
+    request: EvaluationRequest,
+    route: Route,
+) -> EvaluationReport:
+    # The facade is the one sanctioned internal caller of the engine layer.
+    from ..sim.markov import (
+        _exact_completion_curve,
+        _expected_makespan_cyclic,
+        _expected_makespan_regimen,
+        _state_distribution,
+    )
+
+    max_states = (
+        request.max_states if request.max_states is not None else DEFAULT_MAX_STATES
+    )
+    makespan = None
+    curve = None
+    dist = None
+    if "makespan" in request.metrics:
+        if isinstance(schedule, Regimen):
+            makespan = _expected_makespan_regimen(
+                instance, schedule, max_states=max_states, engine=route.engine
+            )
+        else:
+            makespan = _expected_makespan_cyclic(
+                instance, schedule, max_states=max_states, engine=route.engine
+            )
+    if "completion_curve" in request.metrics:
+        curve = _exact_completion_curve(
+            instance,
+            schedule,
+            request.horizon,
+            max_states=max_states,
+            engine=route.engine,
+        )
+    if "state_distribution" in request.metrics:
+        dist = _state_distribution(
+            instance,
+            schedule,
+            request.horizon,
+            max_states=max_states,
+            engine=route.engine,
+        )
+    return EvaluationReport(
+        mode="exact",
+        engine=f"markov-{route.engine}",
+        schedule_kind=schedule_kind(schedule),
+        makespan=makespan,
+        min=makespan,
+        max=makespan,
+        completion_curve=curve,
+        state_distribution=dist,
+        reason=route.reason,
+        request=request,
+    )
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo route
+# ----------------------------------------------------------------------
+def _mc_curve(samples: np.ndarray, truncated: int, horizon: int) -> np.ndarray:
+    """Empirical completion CDF — the estimator's shared implementation.
+
+    Delegates to :func:`repro.sim.montecarlo.censored_completion_cdf`, so
+    the facade's curve is bitwise the legacy ``completion_curve`` by
+    construction (one implementation, not two kept in sync).
+    """
+    from ..sim.montecarlo import censored_completion_cdf
+
+    return censored_completion_cdf(samples, truncated, horizon)
+
+
+def _precision_met(
+    mean: float, std_err: float, request: EvaluationRequest
+) -> bool:
+    half = 1.96 * std_err
+    if request.target_ci is not None and half > request.target_ci:
+        return False
+    if request.rtol is not None and half > request.rtol * max(abs(mean), 1e-12):
+        return False
+    return True
+
+
+def _run_mc(
+    instance: SUUInstance,
+    schedule,
+    request: EvaluationRequest,
+    route: Route,
+) -> EvaluationReport:
+    from ..sim.montecarlo import _estimate_makespan
+
+    # A curve-only run observes exactly `horizon` steps, like the legacy
+    # completion_curve; once makespan is also requested the request's own
+    # budget governs and the curve is the CDF's first `horizon` points
+    # (the validator guarantees max_steps >= horizon in that case).
+    if "completion_curve" in request.metrics and "makespan" not in request.metrics:
+        run_max_steps = request.horizon
+    else:
+        run_max_steps = request.max_steps
+    need_samples = (
+        request.keep_samples
+        or "completion_curve" in request.metrics
+        or request.wants_precision
+    )
+
+    def run(reps: int, rng):
+        # Censoring is re-emitted once by this routine's caller with the
+        # correct attribution; the engine-layer warning is suppressed.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CensoredEstimateWarning)
+            return _estimate_makespan(
+                instance,
+                schedule,
+                reps=reps,
+                rng=rng,
+                max_steps=run_max_steps,
+                keep_samples=need_samples,
+                require_finished=request.require_finished,
+                engine=route.engine,
+                workers=request.workers,
+                executor=request.executor,
+                shards=request.shards,
+            )
+
+    if not request.wants_precision:
+        # Single round: the raw seed passes straight through, so samples
+        # are bitwise the legacy path's at the same seed — including the
+        # sharded route, whose root-seed derivation distinguishes an
+        # integer (reproducible passthrough) from a generator (one draw).
+        est = run(request.reps, request.seed)
+        samples = est.samples
+        mean, std_err = est.mean, est.std_err
+        n_reps, truncated = est.n_reps, est.truncated
+        lo, hi = est.min, est.max
+        rounds, met = 1, None
+        engine_used = est.engine_used
+        if truncated:
+            warn_censored(truncated, n_reps, run_max_steps, stacklevel=3)
+    else:
+        # Adaptive precision: double the replication count until the CI
+        # half-width meets the target or the budget is spent.  One
+        # generator feeds every round, so rounds draw fresh independent
+        # replications; one merged warning is emitted below.
+        rng = as_rng(request.seed)
+        budget = request.effective_budget()
+        chunks: list[np.ndarray] = []
+        truncated = 0
+        n_reps = 0
+        rounds = 0
+        lo, hi = math.inf, -math.inf
+        next_reps = request.reps
+        while True:
+            est = run(next_reps, rng)
+            rounds += 1
+            chunks.append(np.asarray(est.samples))
+            truncated += est.truncated
+            n_reps += est.n_reps
+            lo, hi = min(lo, est.min), max(hi, est.max)
+            engine_used = est.engine_used
+            values = np.concatenate(chunks).astype(np.float64)
+            mean = float(values.mean())
+            std_err = (
+                float(values.std(ddof=1) / math.sqrt(n_reps)) if n_reps > 1 else 0.0
+            )
+            met = _precision_met(mean, std_err, request)
+            if met or n_reps >= budget:
+                break
+            next_reps = min(n_reps, budget - n_reps)
+        samples = np.concatenate(chunks)
+        if truncated:
+            warn_censored(truncated, n_reps, run_max_steps, stacklevel=3)
+
+    curve = None
+    if "completion_curve" in request.metrics:
+        # Full-budget CDF truncated to the requested horizon; for a
+        # curve-only request run_max_steps == horizon and this is exactly
+        # the legacy completion_curve.
+        curve = _mc_curve(samples, truncated, run_max_steps)[: request.horizon]
+    # Like the exact route, the makespan fields are populated only when
+    # the metric was requested: a curve-only run observes just `horizon`
+    # steps, so its sample mean is E[min(makespan, horizon)] — a number
+    # that must not masquerade as the expected makespan.
+    wants_makespan = "makespan" in request.metrics
+    return EvaluationReport(
+        mode="mc",
+        engine=engine_used,
+        schedule_kind=schedule_kind(schedule),
+        makespan=mean if wants_makespan else None,
+        std_err=std_err if wants_makespan else 0.0,
+        n_reps=n_reps,
+        truncated=truncated,
+        min=lo if wants_makespan else None,
+        max=hi if wants_makespan else None,
+        samples=samples if request.keep_samples else None,
+        completion_curve=curve,
+        sharded=route.sharded,
+        rounds=rounds,
+        precision_met=met,
+        reason=route.reason,
+        request=request,
+    )

@@ -1,0 +1,184 @@
+"""The one result type every evaluation route returns.
+
+An :class:`EvaluationReport` carries the point estimate (exact or
+sampled), its uncertainty, any requested curve/distribution, censoring
+info, and — crucially — *engine provenance*: which route and engine
+actually produced the numbers, so tests and callers can assert on the
+dispatch decision instead of trusting it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from .request import EvaluationRequest
+
+__all__ = ["EvaluationReport"]
+
+
+def _jsonable_seed(seed) -> int | str | None:
+    if seed is None or isinstance(seed, int):
+        return seed
+    if isinstance(seed, np.integer):
+        return int(seed)
+    return repr(seed)  # a Generator: provenance only, not reproducible JSON
+
+
+@dataclass
+class EvaluationReport:
+    """Outcome of one :func:`repro.evaluate.evaluate` call.
+
+    Attributes
+    ----------
+    mode:
+        ``"exact"`` or ``"mc"`` — the route that actually ran.
+    engine:
+        Engine provenance: ``markov-sparse`` / ``markov-scalar`` on the
+        exact route; ``oblivious-lockstep`` / ``batched`` / ``scalar`` on
+        the Monte Carlo route (per-shard engine when sharded).
+    schedule_kind:
+        ``cyclic`` / ``oblivious`` / ``regimen`` / ``adaptive``.
+    makespan / std_err / n_reps / truncated / min / max / samples:
+        The makespan estimate.  On the exact route ``std_err`` is 0,
+        ``n_reps``/``truncated`` are 0, and ``exact`` is True; on the MC
+        route ``truncated`` counts budget-censored replications (the mean
+        is then a lower bound, exactly as the legacy estimator reports).
+    completion_curve / state_distribution:
+        Requested extra metrics (None when not requested).
+    sharded / rounds / precision_met:
+        MC provenance: whether the sharded backend ran, how many
+        adaptive-precision rounds were spent, and whether the precision
+        target was met within the budget (None when no target was set).
+    reason:
+        Human-readable dispatch rationale (why this route was picked).
+    wall_time_s:
+        End-to-end wall-clock of the evaluation.
+    """
+
+    mode: str
+    engine: str
+    schedule_kind: str
+    makespan: float | None = None
+    std_err: float = 0.0
+    n_reps: int = 0
+    truncated: int = 0
+    min: float | None = None
+    max: float | None = None
+    samples: np.ndarray | None = None
+    completion_curve: np.ndarray | None = None
+    state_distribution: np.ndarray | None = None
+    sharded: bool = False
+    rounds: int = 1
+    precision_met: bool | None = None
+    reason: str = ""
+    wall_time_s: float = 0.0
+    request: EvaluationRequest | None = None
+
+    # -- compatibility views ----------------------------------------------
+    @property
+    def exact(self) -> bool:
+        """True when the value is analytic (no sampling error)."""
+        return self.mode == "exact"
+
+    @property
+    def mean(self) -> float | None:
+        """Alias of :attr:`makespan` (the legacy estimate's field name)."""
+        return self.makespan
+
+    @property
+    def engine_used(self) -> str:
+        """Alias of :attr:`engine` (the legacy estimate's field name)."""
+        return self.engine
+
+    @property
+    def censored(self) -> bool:
+        return self.truncated > 0
+
+    @property
+    def ci95(self) -> tuple[float, float] | None:
+        """Normal-approximation 95% CI; degenerate on the exact route."""
+        if self.makespan is None:
+            return None
+        half = 0.0 if self.exact else 1.96 * self.std_err
+        return (self.makespan - half, self.makespan + half)
+
+    # -- rendering --------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict (arrays become lists, the request is inlined)."""
+        req = None
+        if self.request is not None:
+            req = {
+                "metrics": list(self.request.metrics),
+                "mode": self.request.mode,
+                "reps": self.request.reps,
+                "seed": _jsonable_seed(self.request.seed),
+                "max_steps": self.request.max_steps,
+                "horizon": self.request.horizon,
+                "rtol": self.request.rtol,
+                "target_ci": self.request.target_ci,
+                "budget": self.request.budget,
+                "engine": self.request.engine,
+                "max_states": self.request.max_states,
+                "workers": self.request.workers,
+                "shards": self.request.shards,
+            }
+        return {
+            "mode": self.mode,
+            "engine": self.engine,
+            "schedule_kind": self.schedule_kind,
+            "exact": self.exact,
+            "makespan": self.makespan,
+            "std_err": self.std_err,
+            "ci95": list(self.ci95) if self.ci95 is not None else None,
+            "n_reps": self.n_reps,
+            "truncated": self.truncated,
+            "min": self.min,
+            "max": self.max,
+            "completion_curve": (
+                self.completion_curve.tolist()
+                if self.completion_curve is not None
+                else None
+            ),
+            "state_distribution": (
+                self.state_distribution.tolist()
+                if self.state_distribution is not None
+                else None
+            ),
+            "sharded": self.sharded,
+            "rounds": self.rounds,
+            "precision_met": self.precision_met,
+            "reason": self.reason,
+            "wall_time_s": self.wall_time_s,
+            "request": req,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __repr__(self) -> str:
+        if self.makespan is None:
+            value = ", ".join(
+                name
+                for name, v in (
+                    ("completion_curve", self.completion_curve),
+                    ("state_distribution", self.state_distribution),
+                )
+                if v is not None
+            )
+        elif self.exact:
+            value = f"E[makespan]={self.makespan:.9f} (exact)"
+        else:
+            lo, hi = self.ci95
+            value = (
+                f"E[makespan]={self.makespan:.3f} ci95=({lo:.3f}, {hi:.3f}) "
+                f"reps={self.n_reps}"
+            )
+            if self.truncated:
+                value += f" truncated={self.truncated}"
+        return (
+            f"EvaluationReport({value}, mode={self.mode}, engine={self.engine}, "
+            f"schedule={self.schedule_kind})"
+        )

@@ -286,11 +286,16 @@ def _load_cached_reference(path: Path, spec_hash: str) -> dict | None:
 # ----------------------------------------------------------------------
 @dataclass
 class _PendingSpec:
-    """Bookkeeping for one cache-missed spec while its tasks are in flight."""
+    """Bookkeeping for one cache-missed spec while its tasks are in flight.
+
+    ``plan`` is None for exact-mode specs (``evaluation: {"mode":
+    "exact"}``), whose whole shard plan is replaced by one front-door
+    evaluation task.
+    """
 
     spec: ExperimentSpec
     spec_hash: str
-    plan: object
+    plan: object | None
     need_reference: bool
     shard_outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
     algorithm: str | None = None
@@ -298,38 +303,54 @@ class _PendingSpec:
     reference: float | None = None
     reference_kind: str | None = None
     have_reference: bool = False
+    exact_value: float | None = None
+    engine_used: str | None = None
+    have_exact: bool = False
     elapsed_s: float = 0.0
 
     def complete(self) -> bool:
-        return len(self.shard_outcomes) == self.plan.n_shards and (
-            self.have_reference or not self.need_reference
-        )
+        if self.plan is None:
+            done = self.have_exact
+        else:
+            done = len(self.shard_outcomes) == self.plan.n_shards
+        return done and (self.have_reference or not self.need_reference)
 
 
 def _assemble(pend: _PendingSpec) -> ExperimentResult:
     spec = pend.spec
-    est = merged_estimate(
-        sorted(pend.shard_outcomes.values(), key=lambda o: o.shard_index),
-        reps=spec.reps,
-        max_steps=spec.max_steps,
-        keep_samples=False,
-        require_finished=False,
-    )
+    if pend.plan is None:
+        assert pend.exact_value is not None
+        mean, std_err = pend.exact_value, 0.0
+        lo = hi = pend.exact_value
+        truncated = 0
+        engine_used = pend.engine_used or "markov-sparse"
+    else:
+        est = merged_estimate(
+            sorted(pend.shard_outcomes.values(), key=lambda o: o.shard_index),
+            reps=spec.reps,
+            max_steps=spec.max_steps,
+            keep_samples=False,
+            require_finished=False,
+        )
+        mean, std_err = est.mean, est.std_err
+        lo, hi = est.min, est.max
+        truncated = est.truncated
+        engine_used = est.engine_used
     ratio = None
     if pend.need_reference and pend.reference is not None:
-        ratio = est.mean / max(pend.reference, 1e-12)
+        ratio = mean / max(pend.reference, 1e-12)
     return ExperimentResult(
         spec=spec,
         algorithm=pend.algorithm or spec.algorithm,
-        mean=est.mean,
-        std_err=est.std_err,
-        min=est.min,
-        max=est.max,
-        truncated=est.truncated,
+        mean=mean,
+        std_err=std_err,
+        min=lo,
+        max=hi,
+        truncated=truncated,
         reference=pend.reference,
         reference_kind=pend.reference_kind,
         ratio=ratio,
-        engine_used=est.engine_used,
+        engine_used=engine_used,
         certificates=pend.certificates,
         elapsed_s=pend.elapsed_s,
         cache_hit=False,
@@ -377,7 +398,7 @@ def run_suite(
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(result.to_dict(), indent=2))
             # The spec-level entry supersedes its in-flight partials.
-            for shard in pend.plan.shards:
+            for shard in pend.plan.shards if pend.plan is not None else ():
                 _shard_cache_path(cache, pend.spec_hash, shard).unlink(missing_ok=True)
             _reference_cache_path(cache, pend.spec_hash).unlink(missing_ok=True)
         finish(idx, result)
@@ -388,15 +409,20 @@ def run_suite(
             if hit is not None:
                 finish(idx, hit)
                 continue
+        exact_mode = spec.evaluation_mode == "exact"
         pend = _PendingSpec(
             spec=spec,
             spec_hash=spec.spec_hash(),
-            plan=make_shard_plan(spec.reps, spec.sim_seed),
+            plan=None if exact_mode else make_shard_plan(spec.reps, spec.sim_seed),
             need_reference=spec.compute_reference,
         )
         pending[idx] = pend
         payload = spec_payload(spec)
-        for shard in pend.plan.shards:
+        if exact_mode:
+            # One front-door evaluation replaces the whole shard plan; it
+            # is cheap and deterministic, so it has no partial cache.
+            tasks.append(SpecTask(spec_index=idx, spec_json=payload, kind="exact"))
+        for shard in pend.plan.shards if pend.plan is not None else ():
             cached = None
             if cache is not None and not force:
                 cached = _load_cached_shard(
@@ -442,7 +468,14 @@ def run_suite(
         idx = outcome.spec_index
         pend = pending[idx]
         pend.elapsed_s += outcome.elapsed_s
-        if outcome.kind == "shard":
+        if outcome.kind == "exact":
+            pend.exact_value = outcome.exact_value
+            pend.engine_used = outcome.engine_used
+            pend.have_exact = True
+            pend.algorithm = pend.algorithm or outcome.algorithm
+            if outcome.certificates is not None:
+                pend.certificates = outcome.certificates
+        elif outcome.kind == "shard":
             pend.shard_outcomes[outcome.shard.shard_index] = outcome.shard
             pend.algorithm = pend.algorithm or outcome.algorithm
             if outcome.certificates is not None:

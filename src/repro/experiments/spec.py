@@ -21,12 +21,23 @@ from ..core.schedule import ScheduleResult
 from ..errors import ExperimentError
 from .registry import resolve_algorithm, resolve_generator
 
-__all__ = ["ExperimentSpec", "SPEC_VERSION"]
+__all__ = ["ExperimentSpec", "SPEC_VERSION", "EVALUATION_KEYS"]
 
 #: Bump to invalidate every cached result when estimation semantics change.
 #: v2: estimation runs through the sharded backend (repro.parallel) — shard
 #: streams replaced the single sim_seed stream, changing every number.
-SPEC_VERSION = 2
+#: v3: specs gained the declarative ``evaluation:`` block (the field enters
+#: the canonical JSON, so every hash changes even though mc numbers do not).
+SPEC_VERSION = 3
+
+#: Keys the ``evaluation:`` block accepts.  ``mode`` selects the runner
+#: route ("mc" — the sharded default — or "exact", one front-door call);
+#: ``engine`` / ``max_states`` configure the exact route.  Adaptive
+#: precision (rtol/budget) is deliberately unsupported here: the cached
+#: runner pre-plans its replication shards, so open-ended rep counts would
+#: break both the shard plan and the cache key — call
+#: :func:`repro.evaluate.evaluate` directly for that.
+EVALUATION_KEYS = ("mode", "engine", "max_states")
 
 
 @dataclass
@@ -45,8 +56,18 @@ class ExperimentSpec:
         Registry key and keyword arguments for the scheduling algorithm
         (e.g. ``{"constants": "paper"}``).
     reps / max_steps / sim_seed / engine:
-        Monte Carlo estimator parameters, passed to
-        :func:`repro.sim.estimate_makespan`.
+        Monte Carlo estimator parameters for the sharded evaluation route
+        (the within-shard engine routing of ``repro.sim.montecarlo``).
+    evaluation:
+        Declarative evaluation block (:data:`EVALUATION_KEYS`): pure data
+        describing *how* to judge the schedule, resolved through the
+        :mod:`repro.evaluate` front door.  ``{"mode": "exact"}`` replaces
+        the spec's whole shard plan with one exact Markov solve
+        (``engine``/``max_states`` inside the block tune it; the
+        top-level ``engine`` must stay ``"auto"`` then, and
+        ``reps``/``max_steps``/``sim_seed`` are ignored — an exact answer
+        has no sampling parameters); the default ``mode="mc"`` keeps the
+        sharded Monte Carlo route driven by the fields above.
     compute_reference / exact_limit:
         When true, also compute the ratio denominator via
         :func:`repro.analysis.reference_makespan` (exact DP below
@@ -63,8 +84,84 @@ class ExperimentSpec:
     max_steps: int = 200_000
     sim_seed: int = 0
     engine: str = "auto"
+    evaluation: dict = field(default_factory=dict)
     compute_reference: bool = False
     exact_limit: int = 10
+
+    def __post_init__(self):
+        bad = sorted(set(self.evaluation) - set(EVALUATION_KEYS))
+        if bad:
+            raise ExperimentError(
+                f"spec {self.name!r}: unknown evaluation keys {bad}; "
+                f"supported: {sorted(EVALUATION_KEYS)} (adaptive precision "
+                "is not available through the cached runner — call "
+                "repro.evaluate.evaluate directly)"
+            )
+        mode = self.evaluation.get("mode", "mc")
+        if mode not in ("mc", "exact"):
+            raise ExperimentError(
+                f"spec {self.name!r}: evaluation mode must be 'mc' or 'exact' "
+                f"(the runner needs a deterministic shard plan, so 'auto' is "
+                f"not allowed here), got {mode!r}"
+            )
+        # Validate the exact-route settings at construction time: a bad
+        # spec must fail here, not mid-suite inside a worker process —
+        # and under mode="mc" these keys would be silently inert (the mc
+        # route reads the top-level `engine`), so they are rejected.
+        if mode == "exact":
+            if self.engine != "auto":
+                # The mirror asymmetry of the inert-key check below: the
+                # exact route reads evaluation["engine"], never the
+                # top-level MC engine field.
+                raise ExperimentError(
+                    f"spec {self.name!r}: top-level engine={self.engine!r} is "
+                    "inert under evaluation mode='exact'; set the exact "
+                    "engine inside the evaluation block instead "
+                    '(evaluation={"mode": "exact", "engine": ...})'
+                )
+            engine = self.evaluation.get("engine", "auto")
+            if engine not in ("auto", "sparse", "scalar"):
+                raise ExperimentError(
+                    f"spec {self.name!r}: evaluation engine for mode='exact' "
+                    f"must be 'auto', 'sparse' or 'scalar', got {engine!r}"
+                )
+            max_states = self.evaluation.get("max_states")
+            if max_states is not None and (
+                not isinstance(max_states, int) or max_states < 1
+            ):
+                raise ExperimentError(
+                    f"spec {self.name!r}: evaluation max_states must be a "
+                    f"positive int, got {max_states!r}"
+                )
+        else:
+            inert = sorted(set(self.evaluation) - {"mode"})
+            if inert:
+                raise ExperimentError(
+                    f"spec {self.name!r}: evaluation keys {inert} only apply "
+                    "to mode='exact'; the mc route is configured by the "
+                    "spec's top-level reps/max_steps/sim_seed/engine fields"
+                )
+
+    # -- evaluation routing ----------------------------------------------
+    @property
+    def evaluation_mode(self) -> str:
+        """``"mc"`` (sharded Monte Carlo, the default) or ``"exact"``."""
+        return self.evaluation.get("mode", "mc")
+
+    def evaluation_request(self):
+        """The spec's ``evaluation:`` block as a front-door request.
+
+        Only meaningful for ``mode="exact"`` — the mc route is executed
+        shard-by-shard by the runner itself, below the front door.
+        """
+        from ..evaluate import EvaluationRequest
+
+        return EvaluationRequest(
+            metrics=("makespan",),
+            mode="exact",
+            engine=self.evaluation.get("engine", "auto"),
+            max_states=self.evaluation.get("max_states"),
+        )
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:

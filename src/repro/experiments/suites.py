@@ -73,6 +73,18 @@ def _smoke() -> list[ExperimentSpec]:
         ExperimentSpec(name="smoke-lp", algorithm="lp", **base),
         # scalar engine (randomized policy)
         ExperimentSpec(name="smoke-random-policy", algorithm="random_policy", **base),
+        # exact Markov route: the evaluation block replaces the shard plan
+        # with one front-door solve (engine provenance lands in the table)
+        ExperimentSpec(
+            name="smoke-exact",
+            generator="random",
+            generator_params={"n": 6, "m": 2, "dag_kind": "chains"},
+            instance_seed=7,
+            algorithm="serial",
+            evaluation={"mode": "exact"},
+            compute_reference=True,
+            exact_limit=6,
+        ),
     ]
 
 

@@ -12,15 +12,14 @@ semantics as the single-process path.
 from __future__ import annotations
 
 import pickle
-import warnings
 
 import numpy as np
 
 from ..errors import (
-    CensoredEstimateWarning,
     ScheduleError,
     SimulationLimitError,
     ValidationError,
+    warn_censored,
 )
 from .executor import Executor, get_executor
 from .merge import merge_partials
@@ -72,15 +71,7 @@ def merged_estimate(
             f"{merged.truncated}/{reps} replications hit the {max_steps}-step budget"
         )
     if merged.truncated:
-        warnings.warn(
-            CensoredEstimateWarning(
-                f"{merged.truncated}/{reps} replications were censored at the "
-                f"{max_steps}-step budget; the reported mean is a lower bound "
-                "on the true expected makespan — enlarge max_steps or pass "
-                "require_finished=True"
-            ),
-            stacklevel=3,
-        )
+        warn_censored(merged.truncated, reps, max_steps, stacklevel=3)
     samples = None
     if keep_samples:
         samples = np.concatenate(

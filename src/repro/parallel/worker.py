@@ -62,12 +62,14 @@ def _estimate_partial(
     keep_samples: bool,
 ) -> ShardOutcome:
     """Run one shard through the (single-process) estimator and summarize it."""
-    from ..sim.montecarlo import estimate_makespan
+    # Engine-layer call: shards are below the repro.evaluate front door,
+    # which is what routed the request here in the first place.
+    from ..sim.montecarlo import _estimate_makespan
 
     t0 = time.perf_counter()
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", CensoredEstimateWarning)
-        est = estimate_makespan(
+        est = _estimate_makespan(
             instance,
             schedule,
             reps=shard.reps,
@@ -144,13 +146,15 @@ def spec_payload(spec) -> str:
 
 @dataclass(frozen=True)
 class SpecTask:
-    """One unit of suite work: a replication shard or a reference solve.
+    """One unit of suite work: a shard, a reference solve, or an exact eval.
 
-    ``kind`` is ``"shard"`` (simulate ``shard`` of the spec's replications)
-    or ``"reference"`` (compute the ratio denominator via
-    :func:`repro.analysis.reference_makespan`).  ``spec_index`` threads the
-    position in the suite back to the aggregator, which routes outcomes to
-    the right spec regardless of completion order.
+    ``kind`` is ``"shard"`` (simulate ``shard`` of the spec's replications),
+    ``"reference"`` (compute the ratio denominator via
+    :func:`repro.analysis.reference_makespan`), or ``"exact"`` (the spec's
+    ``evaluation:`` block requested ``mode="exact"``: one front-door call
+    replaces the whole shard plan).  ``spec_index`` threads the position in
+    the suite back to the aggregator, which routes outcomes to the right
+    spec regardless of completion order.
     """
 
     spec_index: int
@@ -168,6 +172,10 @@ class SpecTaskOutcome:
     certificates: dict | None = None
     reference: float | None = None
     reference_kind: str | None = None
+    #: Exact-evaluation outcome (kind="exact"): the analytic expected
+    #: makespan and the engine provenance reported by the front door.
+    exact_value: float | None = None
+    engine_used: str | None = None
     elapsed_s: float = 0.0
 
 
@@ -197,6 +205,24 @@ def run_spec_task(task: SpecTask) -> SpecTaskOutcome:
             algorithm=result.algorithm,
             certificates=certificates,
             elapsed_s=outcome.elapsed_s,
+        )
+    if task.kind == "exact":
+        from ..evaluate import evaluate
+
+        spec, instance, result = _build_from_spec(task.spec_json)
+        t0 = time.perf_counter()
+        report = evaluate(instance, result.schedule, request=spec.evaluation_request())
+        from ..experiments.runner import _jsonable
+
+        certificates = {k: _jsonable(v) for k, v in result.certificates.items()}
+        return SpecTaskOutcome(
+            spec_index=task.spec_index,
+            kind="exact",
+            algorithm=result.algorithm,
+            certificates=certificates,
+            exact_value=report.makespan,
+            engine_used=report.engine,
+            elapsed_s=time.perf_counter() - t0,
         )
     if task.kind == "reference":
         from ..analysis.ratios import reference_makespan

@@ -1,5 +1,10 @@
 """Stochastic simulation and exact analysis of SUU schedules.
 
+This is the **engine layer**.  First-party code evaluates schedules
+through :func:`repro.evaluate.evaluate` (the one front door, which
+dispatches here); the estimator/exact-solver names re-exported below are
+deprecation shims kept for external callers.
+
 Three execution engines share one set of semantics (Def 2.1); see
 ``docs/architecture.md`` for the decision tree:
 

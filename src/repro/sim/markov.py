@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._deprecation import warn_legacy
 from ..core.instance import SUUInstance
 from ..core.schedule import CyclicSchedule, Regimen
 from ..errors import ValidationError
@@ -65,7 +66,7 @@ def _engine(name: str):
         ) from None
 
 
-def expected_makespan_regimen(
+def _expected_makespan_regimen(
     instance: SUUInstance,
     regimen: Regimen,
     max_states: int = _DEFAULT_MAX_STATES,
@@ -83,7 +84,7 @@ def expected_makespan_regimen(
     )
 
 
-def expected_makespan_cyclic(
+def _expected_makespan_cyclic(
     instance: SUUInstance,
     schedule: CyclicSchedule,
     max_states: int = _DEFAULT_MAX_STATES,
@@ -100,7 +101,7 @@ def expected_makespan_cyclic(
     )
 
 
-def state_distribution(
+def _state_distribution(
     instance: SUUInstance,
     schedule: CyclicSchedule,
     horizon: int,
@@ -120,7 +121,7 @@ def state_distribution(
     )
 
 
-def exact_completion_curve(
+def _exact_completion_curve(
     instance: SUUInstance,
     schedule: CyclicSchedule,
     horizon: int,
@@ -134,4 +135,78 @@ def exact_completion_curve(
     """
     return _engine(engine).exact_completion_curve(
         instance, schedule, horizon, max_states=max_states
+    )
+
+# ----------------------------------------------------------------------
+# Deprecated public shims — external callers only.  First-party code goes
+# through repro.evaluate.evaluate() (mode="exact"), which delegates to the
+# private implementations above unchanged.
+# ----------------------------------------------------------------------
+def expected_makespan_regimen(
+    instance: SUUInstance,
+    regimen: Regimen,
+    max_states: int = _DEFAULT_MAX_STATES,
+    engine: str = "sparse",
+) -> float:
+    """Deprecated shim over :func:`_expected_makespan_regimen`.
+
+    Use ``repro.evaluate.evaluate(instance, regimen, mode="exact")`` — the
+    report's ``makespan`` matches this value to machine precision and the
+    auto mode applies the same ``max_states`` guard.
+    """
+    warn_legacy("repro.sim.expected_makespan_regimen")
+    return _expected_makespan_regimen(
+        instance, regimen, max_states=max_states, engine=engine
+    )
+
+
+def expected_makespan_cyclic(
+    instance: SUUInstance,
+    schedule: CyclicSchedule,
+    max_states: int = _DEFAULT_MAX_STATES,
+    engine: str = "sparse",
+) -> float:
+    """Deprecated shim over :func:`_expected_makespan_cyclic`.
+
+    Use ``repro.evaluate.evaluate(instance, schedule, mode="exact")``.
+    """
+    warn_legacy("repro.sim.expected_makespan_cyclic")
+    return _expected_makespan_cyclic(
+        instance, schedule, max_states=max_states, engine=engine
+    )
+
+
+def state_distribution(
+    instance: SUUInstance,
+    schedule: CyclicSchedule,
+    horizon: int,
+    max_states: int = _DEFAULT_MAX_STATES,
+    engine: str = "sparse",
+) -> np.ndarray:
+    """Deprecated shim over :func:`_state_distribution`.
+
+    Use ``repro.evaluate.evaluate(instance, schedule,
+    metrics="state_distribution", horizon=T)``.
+    """
+    warn_legacy("repro.sim.state_distribution")
+    return _state_distribution(
+        instance, schedule, horizon, max_states=max_states, engine=engine
+    )
+
+
+def exact_completion_curve(
+    instance: SUUInstance,
+    schedule: CyclicSchedule,
+    horizon: int,
+    max_states: int = _DEFAULT_MAX_STATES,
+    engine: str = "sparse",
+) -> np.ndarray:
+    """Deprecated shim over :func:`_exact_completion_curve`.
+
+    Use ``repro.evaluate.evaluate(instance, schedule, mode="exact",
+    metrics="completion_curve", horizon=T)``.
+    """
+    warn_legacy("repro.sim.exact_completion_curve")
+    return _exact_completion_curve(
+        instance, schedule, horizon, max_states=max_states, engine=engine
     )

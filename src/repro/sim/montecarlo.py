@@ -13,16 +13,16 @@ decision tree, and ``engine="scalar"``/``"batched"`` forces a path.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+from .._deprecation import warn_legacy
 from .._util import as_rng
 from ..core.instance import SUUInstance
 from ..core.mass import assignment_success_prob
 from ..core.schedule import CyclicSchedule, ObliviousSchedule
-from ..errors import CensoredEstimateWarning, SimulationLimitError, ValidationError
+from ..errors import SimulationLimitError, ValidationError, warn_censored
 from .batch import batchable, simulate_batch
 from .engine import DEFAULT_MAX_STEPS, simulate
 
@@ -153,7 +153,7 @@ def _vectorized_oblivious(
     return makespan, done_reps
 
 
-def estimate_makespan(
+def _estimate_makespan(
     instance: SUUInstance,
     schedule,
     reps: int = 200,
@@ -165,8 +165,15 @@ def estimate_makespan(
     workers: int | None = None,
     executor=None,
     shards: int | None = None,
+    _warn_stacklevel: int = 2,
 ) -> MakespanEstimate:
     """Estimate the expected makespan of ``schedule`` by Monte Carlo.
+
+    Engine-layer implementation; first-party callers go through
+    :func:`repro.evaluate.evaluate` (mode ``"mc"``), which delegates here
+    unchanged — same streams, bitwise-identical samples at a fixed seed.
+    ``_warn_stacklevel`` keeps the censoring warning attributed to the
+    real caller when an extra frame (the public shim) sits in between.
 
     With ``engine="auto"`` (see ``docs/architecture.md``): oblivious and
     cyclic schedules use the vectorized lockstep path; deterministic
@@ -196,9 +203,9 @@ def estimate_makespan(
     then only a lower bound); ``require_finished=True`` raises instead.
     """
     if reps < 1:
-        raise ValueError("reps must be >= 1")
+        raise ValidationError(f"reps must be >= 1, got {reps}")
     if engine not in ("auto", "batched", "scalar"):
-        raise ValueError(f"unknown engine {engine!r}; expected auto|batched|scalar")
+        raise ValidationError(f"unknown engine {engine!r}; expected auto|batched|scalar")
     if workers is not None or executor is not None or shards is not None:
         # Imported lazily: repro.parallel.worker calls back into this module.
         from ..parallel.estimate import sharded_estimate
@@ -248,15 +255,7 @@ def estimate_makespan(
             f"{truncated}/{reps} replications hit the {max_steps}-step budget"
         )
     if truncated:
-        warnings.warn(
-            CensoredEstimateWarning(
-                f"{truncated}/{reps} replications were censored at the "
-                f"{max_steps}-step budget; the reported mean is a lower bound "
-                "on the true expected makespan — enlarge max_steps or pass "
-                "require_finished=True"
-            ),
-            stacklevel=2,
-        )
+        warn_censored(truncated, reps, max_steps, stacklevel=_warn_stacklevel)
     values = samples.astype(np.float64)
     mean = float(values.mean())
     std_err = float(values.std(ddof=1) / math.sqrt(reps)) if reps > 1 else 0.0
@@ -272,7 +271,61 @@ def estimate_makespan(
     )
 
 
-def completion_curve(
+def estimate_makespan(
+    instance: SUUInstance,
+    schedule,
+    reps: int = 200,
+    rng: np.random.Generator | int | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    keep_samples: bool = False,
+    require_finished: bool = False,
+    engine: str = "auto",
+    workers: int | None = None,
+    executor=None,
+    shards: int | None = None,
+) -> MakespanEstimate:
+    """Deprecated shim over :func:`_estimate_makespan`.
+
+    Use :func:`repro.evaluate.evaluate` — ``evaluate(instance, schedule,
+    mode="mc", seed=s)`` returns bitwise-identical samples plus engine
+    provenance, and ``mode="auto"`` upgrades small regimen/cyclic cases
+    to the exact Markov answer for free.
+    """
+    warn_legacy("repro.sim.estimate_makespan")
+    return _estimate_makespan(
+        instance,
+        schedule,
+        reps=reps,
+        rng=rng,
+        max_steps=max_steps,
+        keep_samples=keep_samples,
+        require_finished=require_finished,
+        engine=engine,
+        workers=workers,
+        executor=executor,
+        shards=shards,
+        _warn_stacklevel=3,  # skip this shim frame: blame the caller's line
+    )
+
+
+def censored_completion_cdf(
+    samples: np.ndarray, truncated: int, horizon: int
+) -> np.ndarray:
+    """Empirical completion CDF from makespan samples (1-based steps).
+
+    The one implementation of the censoring-aware arithmetic, shared by
+    :func:`_completion_curve` and the evaluation front door so the two
+    stay bitwise identical: replications censored at the budget sit at
+    ``horizon`` only because observation stopped there, so they are
+    subtracted from the final bin and the last point reports the
+    *finished* fraction.
+    """
+    counts = np.bincount(samples, minlength=horizon + 1)[1:]
+    counts[horizon - 1] -= truncated
+    return np.cumsum(counts, dtype=np.float64) / samples.size
+
+
+def _completion_curve(
     instance: SUUInstance,
     schedule,
     reps: int = 200,
@@ -294,11 +347,27 @@ def completion_curve(
     if max_steps < 1:
         raise ValidationError("completion_curve needs max_steps >= 1")
     rng = as_rng(rng)
-    est = estimate_makespan(
+    est = _estimate_makespan(
         instance, schedule, reps=reps, rng=rng, max_steps=max_steps, keep_samples=True
     )
     assert est.samples is not None
-    # counts[t] = number of replications with makespan exactly t (1-based).
-    counts = np.bincount(est.samples, minlength=max_steps + 1)[1:]
-    counts[max_steps - 1] -= est.truncated
-    return np.cumsum(counts, dtype=np.float64) / reps
+    return censored_completion_cdf(est.samples, est.truncated, max_steps)
+
+
+def completion_curve(
+    instance: SUUInstance,
+    schedule,
+    reps: int = 200,
+    rng: np.random.Generator | int | None = None,
+    max_steps: int = 10_000,
+) -> np.ndarray:
+    """Deprecated shim over :func:`_completion_curve`.
+
+    Use ``repro.evaluate.evaluate(instance, schedule, mode="mc",
+    metrics="completion_curve", horizon=T, seed=s)`` — the returned
+    report's ``completion_curve`` is bitwise identical at the same seed.
+    """
+    warn_legacy("repro.sim.completion_curve")
+    return _completion_curve(
+        instance, schedule, reps=reps, rng=rng, max_steps=max_steps
+    )

@@ -60,13 +60,8 @@ from ..lp.acc_mass import solve_lp1
 from ..opt.bruteforce import count_assignments, max_sum_mass_opt
 from ..opt.malewicz import optimal_regimen
 from ..rounding.round_lp import round_acc_mass
+from ..evaluate import evaluate
 from ..sim.exec_tree import build_execution_tree
-from ..sim.markov import (
-    exact_completion_curve,
-    expected_makespan_cyclic,
-    expected_makespan_regimen,
-)
-from ..sim.montecarlo import completion_curve, estimate_makespan
 from .cases import CaseSpec, build_case
 
 __all__ = ["CheckConfig", "Discrepancy", "check_case", "applicable_checks"]
@@ -111,14 +106,16 @@ class CheckConfig:
 def _engine_routes(schedule) -> list[tuple[str, dict]]:
     """The estimator configurations applicable to this schedule type.
 
-    Every route is a (label, kwargs) pair for
-    :func:`~repro.sim.montecarlo.estimate_makespan`; all routes of a
-    schedule must produce statistically indistinguishable samples.
+    Every route is a (label, kwargs) pair of extra arguments for the
+    front door (:func:`repro.evaluate.evaluate`, ``mode="mc"``); all
+    routes of a schedule must produce statistically indistinguishable
+    samples.
 
     Invariant relied on by :func:`check_curve`: the *first* route always
     has empty kwargs (``engine="auto"``), labeled with the engine auto is
-    expected to pick — so its samples are bitwise those of any API (like
-    ``completion_curve``) that runs the default routing at the same seed.
+    expected to pick — so its samples are bitwise those of any request
+    (like a ``completion_curve`` metric) that runs the default routing at
+    the same seed.
     :func:`check_engines` cross-checks the label against the estimate's
     reported ``engine_used``, so a routing drift fails loudly.
     """
@@ -152,15 +149,16 @@ class CaseContext:
         self._rounding: tuple | None = None
 
     def estimate(self, label: str, reps: int | None = None, seed: int | None = None):
-        """Run one engine route (default: the case's seed and reps)."""
+        """Run one engine route through the front door (``mode="mc"``)."""
         cfg = self.cfg
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", CensoredEstimateWarning)
-            return estimate_makespan(
+            return evaluate(
                 self.instance,
                 self.schedule,
+                mode="mc",
                 reps=cfg.reps if reps is None else reps,
-                rng=self.spec.sim_seed if seed is None else seed,
+                seed=self.spec.sim_seed if seed is None else seed,
                 max_steps=self.max_steps,
                 keep_samples=True,
                 **self.routes[label],
@@ -303,20 +301,20 @@ def _exact_expected_makespan(
 ) -> float | None:
     """Exact E[makespan] when an analytic oracle applies, else None.
 
-    ``engine`` selects the exact solver: the vectorized sparse engine
-    (the default the whole suite measures against) or the scalar golden
-    path (used by :func:`check_markov` to triangulate the two).
+    Triangulates ``mode="exact"`` against the ``mode="mc"`` routes through
+    the *same* front door the rest of the repo uses.  ``engine`` selects
+    the exact solver: the vectorized sparse engine (the default the whole
+    suite measures against) or the scalar golden path (used by
+    :func:`check_markov` to triangulate the two).
     """
     if instance.n > cfg.markov_jobs:
         return None
+    if not isinstance(schedule, (Regimen, CyclicSchedule)):
+        return None
     try:
-        if isinstance(schedule, Regimen):
-            return expected_makespan_regimen(instance, schedule, engine=engine)
-        if isinstance(schedule, CyclicSchedule):
-            return expected_makespan_cyclic(instance, schedule, engine=engine)
+        return evaluate(instance, schedule, mode="exact", engine=engine).makespan
     except ExactSolverLimitError:
         return None
-    return None
 
 
 def _markov_deviates(est, exact: float, reps: int, z: float) -> float | None:
@@ -392,7 +390,7 @@ def check_opt(ctx: CaseContext) -> list[Discrepancy]:
     except ExactSolverLimitError:
         return []
     out: list[Discrepancy] = []
-    re_eval = expected_makespan_regimen(instance, sol.regimen)
+    re_eval = evaluate(instance, sol.regimen, mode="exact").makespan
     if abs(re_eval - sol.expected_makespan) > 1e-6 * max(1.0, re_eval):
         out.append(
             Discrepancy(
@@ -477,13 +475,15 @@ def check_curve(ctx: CaseContext) -> list[Discrepancy]:
         return []
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", CensoredEstimateWarning)
-        curve = completion_curve(
+        curve = evaluate(
             instance,
             schedule,
+            mode="mc",
+            metrics="completion_curve",
             reps=cfg.reps,
-            rng=spec.sim_seed,
-            max_steps=ctx.max_steps,
-        )
+            seed=spec.sim_seed,
+            horizon=ctx.max_steps,
+        ).completion_curve
     out: list[Discrepancy] = []
     if curve.shape != (ctx.max_steps,):
         return [
@@ -527,7 +527,13 @@ def check_curve(ctx: CaseContext) -> list[Discrepancy]:
         and not est.truncated
     ):
         horizon = min(ctx.max_steps, 64)
-        exact = exact_completion_curve(instance, schedule, horizon)
+        exact = evaluate(
+            instance,
+            schedule,
+            mode="exact",
+            metrics="completion_curve",
+            horizon=horizon,
+        ).completion_curve
         gap = float(np.max(np.abs(curve[:horizon] - exact)))
         # sup-norm bound at failure probability 2 exp(-2 n eps^2) ~ 1e-8.
         dkw = math.sqrt(math.log(2.0 / 1e-8) / (2.0 * cfg.reps))

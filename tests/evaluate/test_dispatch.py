@@ -1,0 +1,202 @@
+"""Dispatch: auto mode provably picks the right engine.
+
+Acceptance criterion of the front-door redesign: ``evaluate()`` auto mode
+picks exact for n<=12 regimen/cyclic cases and Monte Carlo above the
+state guard, asserted via the engine-provenance fields on the report —
+not by trusting the router.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SUUInstance
+from repro.algorithms.baselines import (
+    greedy_prob_policy,
+    random_policy,
+    round_robin_baseline,
+    serial_baseline,
+    state_round_robin_regimen,
+)
+from repro.core.schedule import ObliviousSchedule
+from repro.errors import ValidationError
+from repro.evaluate import (
+    EvaluationRequest,
+    evaluate,
+    exact_state_cost,
+    select_route,
+)
+from repro.sim.exact.lattice import DEFAULT_MAX_STATES
+
+
+def _instance(n, m=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return SUUInstance(rng.uniform(0.3, 0.9, size=(m, n)))
+
+
+class TestAutoPicksExact:
+    @pytest.mark.parametrize("n", [2, 6, 12])
+    def test_regimen_small_n_is_exact(self, n):
+        inst = _instance(n)
+        regimen = state_round_robin_regimen(inst).schedule
+        report = evaluate(inst, regimen, reps=10)
+        assert report.mode == "exact"
+        assert report.engine == "markov-sparse"
+        assert report.std_err == 0.0
+        assert report.exact
+
+    @pytest.mark.parametrize("n", [2, 6, 12])
+    def test_cyclic_small_n_is_exact(self, n):
+        inst = _instance(n)
+        sched = round_robin_baseline(inst).schedule
+        report = evaluate(inst, sched, reps=10)
+        assert report.mode == "exact"
+        assert report.engine == "markov-sparse"
+
+
+class TestAutoPicksMonteCarlo:
+    def test_cyclic_above_state_guard_is_mc(self):
+        # 2^12 x (prefix + cycle) beyond DEFAULT_MAX_STATES: a genuinely
+        # wide chain, no max_states override needed.
+        inst = _instance(12)
+        base = round_robin_baseline(inst).schedule
+        prefix_len = (DEFAULT_MAX_STATES >> 12) + 1  # pushes past the guard
+        from repro.core.schedule import CyclicSchedule
+
+        wide = CyclicSchedule(base.truncate(prefix_len), base.cycle)
+        assert exact_state_cost(inst, wide, ("makespan",), None) > DEFAULT_MAX_STATES
+        report = evaluate(inst, wide, reps=5, seed=0, max_steps=50)
+        assert report.mode == "mc"
+        assert report.engine == "oblivious-lockstep"
+        assert "max_states" in report.reason
+
+    def test_max_states_override_flips_to_mc(self):
+        inst = _instance(6)
+        sched = round_robin_baseline(inst).schedule
+        exact = evaluate(inst, sched, reps=5, seed=0)
+        assert exact.mode == "exact"
+        mc = evaluate(inst, sched, reps=5, seed=0, max_states=8, max_steps=500)
+        assert mc.mode == "mc"
+
+    def test_finite_oblivious_is_mc(self, tiny_independent):
+        sched = ObliviousSchedule(
+            np.tile(np.arange(tiny_independent.n, dtype=np.int32), (20, 1))[
+                :, : tiny_independent.m
+            ]
+        )
+        report = evaluate(tiny_independent, sched, reps=5, seed=0)
+        assert report.mode == "mc"
+        assert report.engine == "oblivious-lockstep"
+
+    def test_deterministic_policy_is_batched(self, tiny_independent):
+        pol = greedy_prob_policy(tiny_independent).schedule
+        report = evaluate(tiny_independent, pol, reps=5, seed=0)
+        assert (report.mode, report.engine) == ("mc", "batched")
+
+    def test_randomized_policy_is_scalar(self, tiny_independent):
+        pol = random_policy(tiny_independent).schedule
+        report = evaluate(tiny_independent, pol, reps=5, seed=0)
+        assert (report.mode, report.engine) == ("mc", "scalar")
+
+    def test_parallel_knobs_force_sharded_mc(self, tiny_independent):
+        sched = serial_baseline(tiny_independent).schedule
+        report = evaluate(
+            tiny_independent, sched, reps=50, seed=0, shards=2, executor="serial"
+        )
+        assert report.mode == "mc"
+        assert report.sharded
+
+    def test_precision_target_forces_mc(self, tiny_independent):
+        sched = serial_baseline(tiny_independent).schedule
+        report = evaluate(tiny_independent, sched, reps=40, seed=0, rtol=0.5)
+        assert report.mode == "mc"
+
+
+class TestForcedRoutes:
+    def test_engine_sparse_forces_exact(self, tiny_independent):
+        sched = serial_baseline(tiny_independent).schedule
+        report = evaluate(tiny_independent, sched, engine="sparse")
+        assert (report.mode, report.engine) == ("exact", "markov-sparse")
+
+    def test_engine_scalar_with_exact_mode(self, tiny_independent):
+        sched = serial_baseline(tiny_independent).schedule
+        report = evaluate(tiny_independent, sched, mode="exact", engine="scalar")
+        assert report.engine == "markov-scalar"
+
+    def test_engine_batched_forces_mc_on_regimen(self, tiny_independent):
+        regimen = state_round_robin_regimen(tiny_independent).schedule
+        report = evaluate(tiny_independent, regimen, engine="batched", reps=5, seed=0)
+        assert (report.mode, report.engine) == ("mc", "batched")
+
+    def test_exact_mode_rejects_adaptive(self, tiny_independent):
+        pol = greedy_prob_policy(tiny_independent).schedule
+        with pytest.raises(ValidationError, match="no finite Markov chain"):
+            evaluate(tiny_independent, pol, mode="exact")
+
+    def test_exact_mode_rejects_finite_oblivious(self, tiny_independent):
+        sched = ObliviousSchedule.idle(4, tiny_independent.m)
+        with pytest.raises(ValidationError, match="no finite Markov chain"):
+            evaluate(tiny_independent, sched, mode="exact")
+
+    def test_exact_curve_rejects_regimen(self, tiny_independent):
+        regimen = state_round_robin_regimen(tiny_independent).schedule
+        with pytest.raises(ValidationError, match="cyclic"):
+            evaluate(
+                tiny_independent,
+                regimen,
+                mode="exact",
+                metrics=("completion_curve",),
+                horizon=10,
+            )
+
+    def test_auto_regimen_with_curve_falls_back_to_mc(self, tiny_independent):
+        regimen = state_round_robin_regimen(tiny_independent).schedule
+        report = evaluate(
+            tiny_independent,
+            regimen,
+            metrics=("makespan", "completion_curve"),
+            horizon=200,
+            reps=20,
+            seed=0,
+        )
+        assert report.mode == "mc"
+        assert report.completion_curve is not None
+
+    def test_state_distribution_forces_exact_in_auto(self, tiny_independent):
+        sched = serial_baseline(tiny_independent).schedule
+        report = evaluate(
+            tiny_independent, sched, metrics=("state_distribution",), horizon=6
+        )
+        assert report.mode == "exact"
+        assert report.state_distribution.shape == (7, 1 << tiny_independent.n)
+
+
+class TestStateCost:
+    def test_regimen_cost_is_two_to_n(self, tiny_independent):
+        regimen = state_round_robin_regimen(tiny_independent).schedule
+        assert exact_state_cost(tiny_independent, regimen, ("makespan",), None) == (
+            1 << tiny_independent.n
+        )
+
+    def test_cyclic_cost_counts_positions(self, tiny_independent):
+        sched = round_robin_baseline(tiny_independent).schedule
+        width = sched.prefix_length + sched.cycle_length
+        assert exact_state_cost(tiny_independent, sched, ("makespan",), None) == (
+            1 << tiny_independent.n
+        ) * width
+
+    def test_curve_cost_takes_max_with_horizon(self, tiny_independent):
+        sched = round_robin_baseline(tiny_independent).schedule
+        width = sched.prefix_length + sched.cycle_length
+        cost = exact_state_cost(
+            tiny_independent, sched, ("makespan", "completion_curve"), 1000
+        )
+        assert cost == (1 << tiny_independent.n) * max(width, 1001)
+
+    def test_route_is_pure_function_of_request(self, tiny_independent):
+        sched = round_robin_baseline(tiny_independent).schedule
+        req = EvaluationRequest(reps=7, seed=3)
+        assert select_route(tiny_independent, sched, req) == select_route(
+            tiny_independent, sched, req
+        )

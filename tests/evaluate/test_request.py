@@ -1,0 +1,112 @@
+"""EvaluationRequest: the one shared validator (satellite: uniform
+argument validation at the front door, rejecting conflicts every legacy
+path used to accept silently or reject inconsistently)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.evaluate import EvaluationRequest, evaluate
+
+
+class TestNormalization:
+    def test_defaults_are_valid(self):
+        req = EvaluationRequest()
+        assert req.metrics == ("makespan",)
+        assert req.mode == "auto"
+
+    def test_bare_string_metric(self):
+        assert EvaluationRequest(metrics="makespan").metrics == ("makespan",)
+
+    def test_hyphens_normalize(self):
+        req = EvaluationRequest(metrics=("completion-curve",), horizon=5)
+        assert req.metrics == ("completion_curve",)
+
+    def test_effective_budget_defaults_to_multiple_of_reps(self):
+        req = EvaluationRequest(reps=100, rtol=0.1)
+        assert req.effective_budget() == 32 * 100
+        assert EvaluationRequest(reps=100, rtol=0.1, budget=500).effective_budget() == 500
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"metrics": ()}, "at least one metric"),
+            ({"metrics": ("makespans",)}, "unknown metric"),
+            ({"metrics": ("makespan", "makespan")}, "duplicate"),
+            ({"mode": "montecarlo"}, "unknown mode"),
+            ({"engine": "gpu"}, "unknown engine"),
+            ({"mode": "exact", "engine": "batched"}, "cannot serve mode"),
+            ({"mode": "mc", "engine": "sparse"}, "cannot serve mode"),
+            ({"reps": 0}, "reps must be >= 1"),
+            ({"reps": -3}, "reps must be >= 1"),
+            ({"max_steps": 0}, "max_steps must be >= 1"),
+            ({"rtol": 0.0}, "rtol must be > 0"),
+            ({"target_ci": -1.0}, "target_ci must be > 0"),
+            ({"budget": 0, "rtol": 0.1}, "budget must be >= 1"),
+            ({"budget": 1000}, "no effect without a precision target"),
+            ({"budget": 50, "reps": 100, "rtol": 0.1}, "cover at least the initial"),
+            ({"max_states": 0}, "max_states must be >= 1"),
+            ({"workers": 0}, "workers must be >= 1"),
+            ({"shards": 0}, "shards must be >= 1"),
+            ({"executor": "threads"}, "unknown executor"),
+            ({"metrics": ("completion_curve",)}, "require horizon"),
+            ({"metrics": ("state_distribution",)}, "require horizon"),
+            ({"metrics": ("completion_curve",), "horizon": 0}, "horizon must be >= 1"),
+            ({"horizon": 10}, "horizon has no effect"),
+            (
+                {"metrics": ("state_distribution",), "horizon": 5, "mode": "mc"},
+                "exact-only metric",
+            ),
+            (
+                {
+                    "metrics": ("makespan", "completion_curve"),
+                    "horizon": 50,
+                    "max_steps": 10,
+                },
+                "must cover horizon",
+            ),
+        ],
+    )
+    def test_invalid_requests(self, kwargs, match):
+        with pytest.raises(ValidationError, match=match):
+            EvaluationRequest(**kwargs)
+
+    @pytest.mark.parametrize("parallel", [{"workers": 2}, {"executor": "serial"}, {"shards": 3}])
+    def test_exact_mode_conflicts_with_parallel_knobs(self, parallel):
+        with pytest.raises(ValidationError, match="conflicting request"):
+            EvaluationRequest(mode="exact", **parallel)
+
+    def test_sparse_engine_conflicts_with_parallel_knobs(self):
+        with pytest.raises(ValidationError, match="conflicting request"):
+            EvaluationRequest(engine="sparse", workers=2)
+
+    def test_state_distribution_conflicts_with_parallel_knobs(self):
+        with pytest.raises(ValidationError, match="conflicting request"):
+            EvaluationRequest(
+                metrics=("state_distribution",), horizon=5, shards=2
+            )
+
+    @pytest.mark.parametrize(
+        "precision", [{"rtol": 0.1}, {"target_ci": 0.5}, {"rtol": 0.1, "budget": 400}]
+    )
+    def test_exact_mode_rejects_precision_targets(self, precision):
+        with pytest.raises(ValidationError, match="no effect on the exact route"):
+            EvaluationRequest(mode="exact", **precision)
+
+    def test_batched_engine_with_forced_exact_metric(self):
+        with pytest.raises(ValidationError, match="cannot serve mode|exact route"):
+            EvaluationRequest(
+                metrics=("state_distribution",), horizon=5, engine="batched"
+            )
+
+    def test_request_and_kwargs_are_mutually_exclusive(self, tiny_independent):
+        from repro.algorithms.baselines import serial_baseline
+
+        sched = serial_baseline(tiny_independent).schedule
+        with pytest.raises(ValidationError, match="not both"):
+            evaluate(
+                tiny_independent, sched, request=EvaluationRequest(), reps=10
+            )

@@ -357,9 +357,12 @@ class TestSuites:
     def test_smoke_suite_runs(self, tmp_path):
         # The CI gate: the whole smoke suite must execute end to end.
         results = run_suite(get_suite("smoke"), cache_dir=tmp_path)
+        # One spec per evaluation route: the three MC engines plus the
+        # exact Markov route driven by the evaluation: block.
         assert {r.engine_used for r in results} == {
             "batched",
             "oblivious-lockstep",
             "scalar",
+            "markov-sparse",
         }
         assert all(r.mean > 0 for r in results)

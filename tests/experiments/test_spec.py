@@ -99,3 +99,39 @@ class TestBuild:
         spec = ExperimentSpec(name="bad", generator="broken-gen")
         with pytest.raises(ExperimentError):
             spec.build_instance()
+
+
+class TestEvaluationBlockValidation:
+    """The evaluation: block fails at construction, never inside a worker."""
+
+    def test_exact_mode_accepted(self):
+        spec = ExperimentSpec(name="ok", evaluation={"mode": "exact", "engine": "scalar"})
+        assert spec.evaluation_mode == "exact"
+        req = spec.evaluation_request()
+        assert (req.mode, req.engine) == ("exact", "scalar")
+
+    def test_bad_exact_engine_rejected_eagerly(self):
+        with pytest.raises(ExperimentError, match="must be 'auto', 'sparse' or 'scalar'"):
+            ExperimentSpec(name="bad", evaluation={"mode": "exact", "engine": "batched"})
+
+    def test_bad_max_states_rejected_eagerly(self):
+        with pytest.raises(ExperimentError, match="positive int"):
+            ExperimentSpec(name="bad", evaluation={"mode": "exact", "max_states": 0})
+
+    def test_inert_keys_under_mc_mode_rejected(self):
+        # engine/max_states are only read on the exact route; silently
+        # accepting them would let authors believe they forced an engine.
+        with pytest.raises(ExperimentError, match="only apply to mode='exact'"):
+            ExperimentSpec(name="bad", evaluation={"engine": "scalar"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown evaluation keys"):
+            ExperimentSpec(name="bad", evaluation={"rtol": 0.1})
+
+    def test_auto_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="'auto' is\\s+not allowed"):
+            ExperimentSpec(name="bad", evaluation={"mode": "auto"})
+
+    def test_inert_toplevel_engine_under_exact_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="inert under evaluation mode='exact'"):
+            ExperimentSpec(name="bad", engine="scalar", evaluation={"mode": "exact"})

@@ -218,7 +218,7 @@ class TestRunExperiments:
             == 0
         )
         data = json.loads(target.read_text())
-        assert len(data) == 3
+        assert len(data) == 4  # three MC engine specs + the exact-mode spec
         assert all("spec" in rec and "mean" in rec for rec in data)
 
 

@@ -1,0 +1,141 @@
+"""Legacy entry points are warning shims, and src/ never calls them.
+
+Satellite acceptance (CI / tooling): a deprecation-shim check fails if a
+legacy entry point is called anywhere inside ``src/`` — shims exist for
+external callers only.  The same checker runs as a CI job
+(``tools/check_legacy_callsites.py``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import SUUInstance
+from repro.algorithms.baselines import round_robin_baseline
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    """Import tools/check_legacy_callsites.py regardless of test order."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_legacy_callsites
+
+        return check_legacy_callsites
+    finally:
+        sys.path.remove(str(REPO / "tools"))
+
+
+@pytest.fixture
+def inst():
+    rng = np.random.default_rng(5)
+    return SUUInstance(rng.uniform(0.3, 0.9, size=(2, 4)))
+
+
+class TestChecker:
+    def test_src_has_no_legacy_callsites(self):
+        assert _load_checker().main() == 0
+
+    def test_checker_catches_a_planted_callsite(self, tmp_path):
+        # The checker must actually detect violations, not just pass.
+        checker = _load_checker()
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "from repro.sim import estimate_makespan\n"
+            "def f(i, s):\n"
+            "    return estimate_makespan(i, s)\n"
+        )
+        violations = checker.check_file(bad, "bad.py")
+        assert len(violations) == 2  # the import and the call
+
+    def test_cli_entry_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_legacy_callsites.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestShimsWarnAndDelegate:
+    def test_deprecation_messages_spelled_path_works(self):
+        """The warnings say "use repro.evaluate.evaluate()" — both that
+        attribute chain and a plain `import repro.evaluate` must work
+        even though the function shadows the subpackage attribute."""
+        import repro
+        import repro.evaluate as evaluate_module
+
+        assert callable(repro.evaluate)
+        assert repro.evaluate.evaluate is repro.evaluate
+        assert repro.evaluate.EvaluationRequest is repro.EvaluationRequest
+        assert repro.evaluate.EvaluationReport is repro.EvaluationReport
+        # the module itself stays importable and fully populated
+        assert evaluate_module.EvaluationRequest is repro.EvaluationRequest
+
+    def test_censoring_warning_blames_the_external_caller(self, inst):
+        """Regression: the shim's extra frame must not steal the
+        censoring warning's attribution from the caller's line."""
+        import warnings as _warnings
+
+        from repro.sim import estimate_makespan
+
+        hopeless = SUUInstance(np.full((1, 2), 0.02))
+        sched = round_robin_baseline(hopeless).schedule
+        with _warnings.catch_warnings(record=True) as record:
+            _warnings.simplefilter("always")
+            estimate_makespan(hopeless, sched, reps=10, rng=0, max_steps=3)
+        from repro.errors import CensoredEstimateWarning
+
+        censored = [
+            w for w in record if issubclass(w.category, CensoredEstimateWarning)
+        ]
+        assert len(censored) == 1
+        assert censored[0].filename == __file__
+
+    def test_estimate_makespan_warns(self, inst):
+        from repro.sim import estimate_makespan
+
+        sched = round_robin_baseline(inst).schedule
+        with pytest.warns(DeprecationWarning, match="repro.evaluate.evaluate"):
+            est = estimate_makespan(inst, sched, reps=10, rng=0)
+        assert est.n_reps == 10
+
+    def test_completion_curve_warns(self, inst):
+        from repro.sim import completion_curve
+
+        sched = round_robin_baseline(inst).schedule
+        with pytest.warns(DeprecationWarning, match="front door"):
+            curve = completion_curve(inst, sched, reps=10, rng=0, max_steps=20)
+        assert curve.shape == (20,)
+
+    def test_exact_solvers_warn(self, inst):
+        from repro.sim import (
+            exact_completion_curve,
+            expected_makespan_cyclic,
+            state_distribution,
+        )
+
+        sched = round_robin_baseline(inst).schedule
+        with pytest.warns(DeprecationWarning):
+            value = expected_makespan_cyclic(inst, sched)
+        assert value > 0
+        with pytest.warns(DeprecationWarning):
+            exact_completion_curve(inst, sched, 5)
+        with pytest.warns(DeprecationWarning):
+            state_distribution(inst, sched, 5)
+
+    def test_expected_makespan_regimen_warns(self, inst):
+        from repro.algorithms.baselines import state_round_robin_regimen
+        from repro.sim import expected_makespan_regimen
+
+        regimen = state_round_robin_regimen(inst).schedule
+        with pytest.warns(DeprecationWarning):
+            value = expected_makespan_regimen(inst, regimen)
+        assert value > 0

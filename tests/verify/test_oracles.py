@@ -77,11 +77,17 @@ class TestPlantedBugs:
         assert any(d.check == "engines" and "batched" in d.message for d in out)
 
     def test_broken_markov_oracle_is_caught(self, monkeypatch):
-        """A biased exact solver must trip the markov oracle (both stages)."""
-        real = oracles.expected_makespan_regimen
+        """A biased exact solver must trip the markov oracle (both stages).
+
+        The oracles consume the exact value through the evaluate() front
+        door, so the bug is planted in the engine layer underneath it.
+        """
+        import repro.sim.markov as markov
+
+        real = markov._expected_makespan_regimen
         monkeypatch.setattr(
-            oracles,
-            "expected_makespan_regimen",
+            markov,
+            "_expected_makespan_regimen",
             lambda inst, reg, **kw: real(inst, reg, **kw) + 0.75,
         )
         out = check_case(spec_for("exact_regimen", n=2), cfg=FAST)
@@ -89,13 +95,14 @@ class TestPlantedBugs:
 
     def test_broken_curve_is_caught(self, monkeypatch):
         """A curve that is not the samples' CDF must trip the curve oracle."""
-        real = montecarlo.completion_curve
+        from repro.evaluate import facade
 
-        def shifted(instance, schedule, reps=200, rng=None, max_steps=10_000):
-            curve = real(instance, schedule, reps=reps, rng=rng, max_steps=max_steps)
-            return np.roll(curve, 1)  # classic off-by-one shift
+        real = facade._mc_curve
 
-        monkeypatch.setattr(oracles, "completion_curve", shifted)
+        def shifted(samples, truncated, horizon):
+            return np.roll(real(samples, truncated, horizon), 1)  # off-by-one
+
+        monkeypatch.setattr(facade, "_mc_curve", shifted)
         out = check_case(spec_for("serial"), cfg=FAST)
         assert any(d.check == "curve" for d in out)
 

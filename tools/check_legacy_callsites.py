@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Fail when a legacy evaluation entry point is called inside ``src/``.
+
+The pre-front-door names (``estimate_makespan``, ``completion_curve``,
+``expected_makespan_regimen``, ``expected_makespan_cyclic``,
+``exact_completion_curve``, ``state_distribution``) are deprecation shims
+kept for *external* callers only; first-party code must go through
+``repro.evaluate.evaluate()``.  This checker walks the AST of every
+module under ``src/`` (so names in docstrings and comments don't count)
+and reports:
+
+* any call whose callee name is a legacy entry point, and
+* any ``from ... import`` of a legacy name out of the modules that
+  define the shims.
+
+The engine layer itself is allowlisted: the modules that *define* the
+shims and engines legitimately contain the names (their ``def`` lines and
+cross-engine internals).  The ``repro/evaluate`` facade needs no
+exemption — it calls the private ``_``-prefixed implementations.
+
+Run directly (``python tools/check_legacy_callsites.py``) or via the
+tier-1 test ``tests/test_legacy_shims.py``; CI runs both.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+LEGACY = {
+    "estimate_makespan",
+    "completion_curve",
+    "expected_makespan_regimen",
+    "expected_makespan_cyclic",
+    "exact_completion_curve",
+    "state_distribution",
+}
+
+#: Modules allowed to mention legacy names: the shim definitions, the
+#: engine layer they wrap, and the package re-export surfaces.
+ALLOWED = {
+    "repro/sim/montecarlo.py",
+    "repro/sim/markov.py",
+    "repro/sim/__init__.py",
+    "repro/sim/exact/__init__.py",
+    "repro/sim/exact/sparse.py",
+    "repro/sim/exact/scalar.py",
+    "repro/sim/exact/lattice.py",
+    "repro/__init__.py",
+}
+
+
+def _callee_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def check_file(path: Path, rel: str) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _callee_name(node)
+            if name in LEGACY:
+                violations.append(
+                    f"{rel}:{node.lineno}: call to legacy entry point "
+                    f"{name}() — go through repro.evaluate.evaluate()"
+                )
+        elif isinstance(node, ast.ImportFrom):
+            imported = {a.name for a in node.names} & LEGACY
+            if imported:
+                violations.append(
+                    f"{rel}:{node.lineno}: imports legacy entry point(s) "
+                    f"{sorted(imported)} — go through repro.evaluate.evaluate()"
+                )
+    return violations
+
+
+def main(src_root: str = "src") -> int:
+    root = Path(__file__).resolve().parent.parent / src_root
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel in ALLOWED:
+            continue
+        violations.extend(check_file(path, rel))
+    if violations:
+        print(
+            f"{len(violations)} legacy call site(s) inside src/ "
+            "(shims are for external callers only):"
+        )
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("no legacy evaluation call sites inside src/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(*sys.argv[1:]))
