@@ -99,27 +99,34 @@ def _greedy_path_cover(instance: SUUInstance) -> list[list[int]]:
     return chains
 
 
-def lp_lower_bound(instance: SUUInstance) -> float:
-    """``T*/16`` via Lemma 4.2, with a greedy path cover as the chains."""
+def lp_lower_bound(instance: SUUInstance, engine: str = "vector") -> float:
+    """``T*/16`` via Lemma 4.2, with a greedy path cover as the chains.
+
+    ``engine`` selects the LP construction engine
+    (:data:`repro.lp.LP_ENGINES`); both give the same bound to 1e-9.
+    """
     if instance.classify() in (DagClass.INDEPENDENT, DagClass.CHAINS):
         chains = instance.dag.chains()
     else:
         chains = _greedy_path_cover(instance)
-    frac = solve_lp1(instance, chains=chains)
+    frac = solve_lp1(instance, chains=chains, engine=engine)
     return frac.t / LEMMA42_FACTOR
 
 
-def lower_bounds(instance: SUUInstance, include_lp: bool = True) -> LowerBounds:
+def lower_bounds(
+    instance: SUUInstance, include_lp: bool = True, lp_engine: str = "vector"
+) -> LowerBounds:
     """Compute all lower bounds; ``best`` is their maximum.
 
-    ``include_lp=False`` skips the LP solve (the only non-trivial cost).
+    ``include_lp=False`` skips the LP solve (the only non-trivial cost);
+    ``lp_engine`` selects the LP construction engine when it runs.
     """
     q = instance.all_machines_success
     # q_j > 0 by the standing assumption (some p_ij > 0).
     inv_q = 1.0 / q
     single = float(inv_q.max())
     path = float(instance.dag.longest_path_length(weights=inv_q))
-    lp = lp_lower_bound(instance) if include_lp else 0.0
+    lp = lp_lower_bound(instance, engine=lp_engine) if include_lp else 0.0
     # Per-step expected completions <= rho (Prop 2.1 + optional stopping).
     rho = float(instance.p.max(axis=1).sum())
     throughput = instance.n / max(rho, 1e-12)

@@ -5,6 +5,13 @@ network flow (the paper cites Ford–Fulkerson [8]): a flow network with
 integral capacities has an integral maximum flow.  Dinic's algorithm finds
 one in ``O(V^2 E)``, more than fast enough for the rounding networks here
 (one node per job and machine).
+
+This module is the **golden reference** flow engine (``engine="scalar"``
+of :func:`repro.flow.make_flow_network`), preserved verbatim the way
+``sim/exact/scalar.py`` keeps the dict-DP exact engine: the flat-array
+engine in :mod:`repro.flow.arrays` is triangulated against it by the
+``lpflow`` fuzz oracle and ``tests/flow/test_flow_engines_equiv.py``.
+Do not optimize it.
 """
 
 from __future__ import annotations

@@ -16,7 +16,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import RoundingError, ValidationError
+from .arrays import ArrayFlowEdge, ArrayFlowNetwork
 from .dinic import FlowEdge, FlowNetwork
+from .facade import make_flow_network
 
 __all__ = ["RoundingNetwork", "build_rounding_network"]
 
@@ -34,10 +36,10 @@ class RoundingNetwork:
     demands: per-job ``D_j``.
     """
 
-    network: FlowNetwork
+    network: FlowNetwork | ArrayFlowNetwork
     source: int
     sink: int
-    pair_edges: dict[tuple[int, int], FlowEdge]
+    pair_edges: dict[tuple[int, int], FlowEdge | ArrayFlowEdge]
     demands: dict[int, int]
 
     def solve(self) -> int:
@@ -73,6 +75,7 @@ def build_rounding_network(
     pair_caps: dict[tuple[int, int], int],
     machine_cap: int,
     num_machines: int,
+    engine: str = "array",
 ) -> RoundingNetwork:
     """Assemble the Figure-3 network.
 
@@ -85,6 +88,7 @@ def build_rounding_network(
     machine_cap: capacity of each machine→sink edge (the paper's ``⌈2t⌉``).
     num_machines: total machines (machines without surviving pairs get no
         node edges but keep their ids dense).
+    engine: flow engine (:data:`repro.flow.FLOW_ENGINES`) to solve on.
     """
     if machine_cap < 0:
         raise ValidationError("machine_cap must be >= 0")
@@ -93,12 +97,12 @@ def build_rounding_network(
     machine_ids = {i: len(job_ids) + k for k, i in enumerate(machines_used)}
     source = len(job_ids) + len(machine_ids)
     sink = source + 1
-    net = FlowNetwork(sink + 1)
+    net = make_flow_network(sink + 1, engine=engine)
     for j in jobs:
         if demands.get(j, 0) < 0:
             raise ValidationError(f"negative demand for job {j}")
         net.add_edge(source, job_ids[j], int(demands.get(j, 0)))
-    pair_edges: dict[tuple[int, int], FlowEdge] = {}
+    pair_edges: dict[tuple[int, int], FlowEdge | ArrayFlowEdge] = {}
     for (j, i), cap in sorted(pair_caps.items()):
         if j not in job_ids:
             raise ValidationError(f"pair ({j}, {i}) references a non-flow job")

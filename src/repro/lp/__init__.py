@@ -1,10 +1,17 @@
-"""Linear programming layer: generic model plus the AccMass LPs."""
+"""Linear programming layer: generic model plus the AccMass LPs.
+
+The AccMass builders/solvers take ``engine="vector"`` (default — sparse
+COO-block construction) or ``engine="scalar"`` (the original per-variable
+loops in :mod:`repro.lp.scalar`, kept as the golden reference).
+"""
 
 from .acc_mass import (
     DEFAULT_TARGET_MASS,
+    LP_ENGINES,
     FractionalAccMass,
     build_lp1,
     build_lp2,
+    check_fractional,
     solve_lp1,
     solve_lp2,
 )
@@ -12,9 +19,11 @@ from .model import LinearProgram, LPSolution, VariableIndexer
 
 __all__ = [
     "DEFAULT_TARGET_MASS",
+    "LP_ENGINES",
     "FractionalAccMass",
     "build_lp1",
     "build_lp2",
+    "check_fractional",
     "solve_lp1",
     "solve_lp2",
     "LinearProgram",

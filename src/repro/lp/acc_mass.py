@@ -15,11 +15,27 @@ Theorem 4.5 for independent jobs, drops the chain and window constraints.
 The LP optimum ``T*`` relates to the optimal expected makespan through
 Lemma 4.2: ``T* <= 16 T^OPT`` — which is also how the package derives its
 LP lower bound ``T^OPT >= T*/16``.
+
+Two construction engines live behind the ``engine=`` argument of every
+builder and solver here, mirroring the exact-Markov facade in
+:mod:`repro.sim.markov`:
+
+* ``"vector"`` (default) — sparse-matrix construction: the positive
+  ``(i, j)`` pairs come from one ``np.nonzero``, variables register in
+  bulk, and each constraint family lands as a single COO block
+  (:meth:`~repro.lp.model.LinearProgram.add_le_rows`).
+* ``"scalar"`` — the original per-variable Python loops, kept verbatim in
+  :mod:`repro.lp.scalar` as the golden reference.
+
+Both produce the same named rows in the same order and the same optimum
+(≤1e-9, property-tested in ``tests/lp/test_lp_engines_equiv.py`` and
+fuzzed continuously by the ``lpflow`` oracle of :mod:`repro.verify`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import repeat
 
 import numpy as np
 
@@ -27,10 +43,29 @@ from ..core.instance import SUUInstance
 from ..errors import ValidationError
 from .model import LinearProgram, LPSolution
 
-__all__ = ["FractionalAccMass", "build_lp1", "build_lp2", "solve_lp1", "solve_lp2"]
+__all__ = [
+    "FractionalAccMass",
+    "LP_ENGINES",
+    "build_lp1",
+    "build_lp2",
+    "solve_lp1",
+    "solve_lp2",
+    "check_fractional",
+]
 
 #: Target mass per job in the LP (the paper's 1/2).
 DEFAULT_TARGET_MASS = 0.5
+
+#: Names accepted by the ``engine=`` argument of the builders/solvers.
+LP_ENGINES = ("vector", "scalar")
+
+
+def _require_engine(engine: str) -> str:
+    if engine not in LP_ENGINES:
+        raise ValidationError(
+            f"unknown LP engine {engine!r}; expected one of {LP_ENGINES}"
+        )
+    return engine
 
 
 @dataclass
@@ -71,10 +106,129 @@ def _validate_chains(instance: SUUInstance, chains: list[list[int]]) -> None:
         raise ValidationError(f"chains do not cover jobs {sorted(missing)}")
 
 
+def _chain_labels(n: int, chains: list[list[int]]) -> np.ndarray:
+    """Per-job chain index (chains partition the jobs, validated upstream)."""
+    labels = np.zeros(n, dtype=np.int64)
+    for k, chain in enumerate(chains):
+        labels[np.asarray(chain, dtype=np.int64)] = k
+    return labels
+
+
+# ----------------------------------------------------------------------
+# Vectorized construction (engine="vector")
+# ----------------------------------------------------------------------
+def _pair_index(p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row-major ``(i, j)`` arrays of the positive pairs — the x variables."""
+    return np.nonzero(p > 0.0)
+
+
+def _x_keys(ii: np.ndarray, jj: np.ndarray) -> list:
+    # zip() assembles the ("x", i, j) tuples in C — measurably faster than
+    # a comprehension at the tens-of-thousands of pairs the perf bench runs.
+    return list(zip(repeat("x"), ii.tolist(), jj.tolist()))
+
+
+def _build_lp1_vector(
+    instance: SUUInstance, chains: list[list[int]], target_mass: float
+) -> LinearProgram:
+    m, n = instance.m, instance.n
+    p = instance.p
+    ii, jj = _pair_index(p)
+    lp = LinearProgram()
+    t_idx = lp.add_var("t", lb=0.0, obj=1.0)
+    d_idx = lp.add_vars([("d", j) for j in range(n)], lb=1.0)
+    x_idx = lp.add_vars(_x_keys(ii, jj), lb=0.0)
+    # (1) mass: -Σ_i p_ij x_ij <= -target (one row per job, ge stored negated)
+    lp.add_ge_rows(
+        rows=jj,
+        cols=x_idx,
+        data=p[ii, jj],
+        rhs=np.full(n, target_mass),
+        names=[f"mass[{j}]" for j in range(n)],
+    )
+    # (2) machine load: Σ_j x_ij - t <= 0 (one row per machine)
+    lp.add_le_rows(
+        rows=np.concatenate([ii, np.arange(m)]),
+        cols=np.concatenate([x_idx, np.full(m, t_idx)]),
+        data=np.concatenate([np.ones(ii.size), -np.ones(m)]),
+        rhs=np.zeros(m),
+        names=[f"load[{i}]" for i in range(m)],
+    )
+    # (3) chain length: Σ_{j∈C_k} d_j - t <= 0 (one row per chain)
+    num_chains = len(chains)
+    labels = _chain_labels(n, chains)
+    lp.add_le_rows(
+        rows=np.concatenate([labels, np.arange(num_chains)]),
+        cols=np.concatenate([d_idx, np.full(num_chains, t_idx)]),
+        data=np.concatenate([np.ones(n), -np.ones(num_chains)]),
+        rhs=np.zeros(num_chains),
+        names=[f"chain[{k}]" for k in range(num_chains)],
+    )
+    # (4) windows: x_ij - d_j <= 0 (one row per positive pair)
+    pair_rows = np.arange(ii.size)
+    lp.add_le_rows(
+        rows=np.concatenate([pair_rows, pair_rows]),
+        cols=np.concatenate([x_idx, d_idx[jj]]),
+        data=np.concatenate([np.ones(ii.size), -np.ones(ii.size)]),
+        rhs=np.zeros(ii.size),
+        names=[f"win[{i},{j}]" for i, j in zip(ii.tolist(), jj.tolist())],
+    )
+    return lp
+
+
+def _build_lp2_vector(instance: SUUInstance, target_mass: float) -> LinearProgram:
+    m, n = instance.m, instance.n
+    p = instance.p
+    ii, jj = _pair_index(p)
+    lp = LinearProgram()
+    t_idx = lp.add_var("t", lb=0.0, obj=1.0)
+    x_idx = lp.add_vars(_x_keys(ii, jj), lb=0.0)
+    lp.add_ge_rows(
+        rows=jj,
+        cols=x_idx,
+        data=p[ii, jj],
+        rhs=np.full(n, target_mass),
+        names=[f"mass[{j}]" for j in range(n)],
+    )
+    lp.add_le_rows(
+        rows=np.concatenate([ii, np.arange(m)]),
+        cols=np.concatenate([x_idx, np.full(m, t_idx)]),
+        data=np.concatenate([np.ones(ii.size), -np.ones(m)]),
+        rhs=np.zeros(m),
+        names=[f"load[{i}]" for i in range(m)],
+    )
+    return lp
+
+
+def _extract_vector(
+    instance: SUUInstance, sol: LPSolution, has_d: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array readout of ``(x, d)`` using the vector builders' layout.
+
+    The vector builders register ``t``, then (for LP1) the ``d`` block,
+    then the ``x`` block in row-major pair order — so the solved vector
+    slices directly into the dense matrices with two fancy-index writes.
+    """
+    m, n = instance.m, instance.n
+    ii, jj = _pair_index(instance.p)
+    x = np.zeros((m, n), dtype=np.float64)
+    offset = 1 + (n if has_d else 0)
+    x[ii, jj] = np.maximum(0.0, sol.x[offset : offset + ii.size])
+    if has_d:
+        d = np.maximum(1.0, sol.x[1 : 1 + n])
+    else:
+        d = np.maximum(1.0, x.max(axis=0, initial=0.0))
+    return x, d
+
+
+# ----------------------------------------------------------------------
+# Public builders/solvers (engine facade)
+# ----------------------------------------------------------------------
 def build_lp1(
     instance: SUUInstance,
     chains: list[list[int]] | None = None,
     target_mass: float = DEFAULT_TARGET_MASS,
+    engine: str = "vector",
 ) -> LinearProgram:
     """Assemble (LP1) for ``instance`` with the given chain partition.
 
@@ -82,62 +236,29 @@ def build_lp1(
     disjoint-chains DAG).  Singleton chains are allowed, so the same
     builder covers independent jobs with window semantics.
     """
+    _require_engine(engine)
     if chains is None:
         chains = instance.dag.chains()
     _validate_chains(instance, chains)
-    m, n = instance.m, instance.n
-    p = instance.p
-    lp = LinearProgram()
-    t_var = "t"
-    lp.add_var(t_var, lb=0.0, obj=1.0)
-    for j in range(n):
-        lp.add_var(("d", j), lb=1.0)
-    pairs: list[tuple[int, int]] = []
-    for i in range(m):
-        for j in range(n):
-            if p[i, j] > 0.0:
-                lp.add_var(("x", i, j), lb=0.0)
-                pairs.append((i, j))
-    # (1) mass
-    for j in range(n):
-        coeffs = {("x", i, j): p[i, j] for i in range(m) if p[i, j] > 0.0}
-        lp.add_ge(coeffs, target_mass, name=f"mass[{j}]")
-    # (2) machine load
-    for i in range(m):
-        coeffs = {("x", i, j): 1.0 for j in range(n) if p[i, j] > 0.0}
-        coeffs[t_var] = -1.0
-        lp.add_le(coeffs, 0.0, name=f"load[{i}]")
-    # (3) chain length
-    for k, chain in enumerate(chains):
-        coeffs = {("d", j): 1.0 for j in chain}
-        coeffs[t_var] = -1.0
-        lp.add_le(coeffs, 0.0, name=f"chain[{k}]")
-    # (4) windows
-    for (i, j) in pairs:
-        lp.add_le({("x", i, j): 1.0, ("d", j): -1.0}, 0.0, name=f"win[{i},{j}]")
-    return lp
+    if engine == "scalar":
+        from . import scalar
+
+        return scalar.build_lp1_scalar(instance, chains, target_mass)
+    return _build_lp1_vector(instance, chains, target_mass)
 
 
 def build_lp2(
-    instance: SUUInstance, target_mass: float = DEFAULT_TARGET_MASS
+    instance: SUUInstance,
+    target_mass: float = DEFAULT_TARGET_MASS,
+    engine: str = "vector",
 ) -> LinearProgram:
     """Assemble (LP2): (LP1) without chain/window constraints (Thm 4.5)."""
-    m, n = instance.m, instance.n
-    p = instance.p
-    lp = LinearProgram()
-    lp.add_var("t", lb=0.0, obj=1.0)
-    for i in range(m):
-        for j in range(n):
-            if p[i, j] > 0.0:
-                lp.add_var(("x", i, j), lb=0.0)
-    for j in range(n):
-        coeffs = {("x", i, j): p[i, j] for i in range(m) if p[i, j] > 0.0}
-        lp.add_ge(coeffs, target_mass, name=f"mass[{j}]")
-    for i in range(m):
-        coeffs = {("x", i, j): 1.0 for j in range(n) if p[i, j] > 0.0}
-        coeffs["t"] = -1.0
-        lp.add_le(coeffs, 0.0, name=f"load[{i}]")
-    return lp
+    _require_engine(engine)
+    if engine == "scalar":
+        from . import scalar
+
+        return scalar.build_lp2_scalar(instance, target_mass)
+    return _build_lp2_vector(instance, target_mass)
 
 
 def _extract(
@@ -146,17 +267,14 @@ def _extract(
     chains: list[list[int]],
     target_mass: float,
     has_d: bool,
+    engine: str,
 ) -> FractionalAccMass:
-    m, n = instance.m, instance.n
-    x = np.zeros((m, n), dtype=np.float64)
-    for i in range(m):
-        for j in range(n):
-            if ("x", i, j) in sol.indexer:
-                x[i, j] = max(0.0, sol[("x", i, j)])
-    if has_d:
-        d = np.array([max(1.0, sol[("d", j)]) for j in range(n)])
+    if engine == "scalar":
+        from . import scalar
+
+        x, d = scalar.extract_scalar(instance, sol, has_d)
     else:
-        d = np.maximum(1.0, x.max(axis=0))
+        x, d = _extract_vector(instance, sol, has_d)
     frac = FractionalAccMass(
         x=x, d=d, t=float(sol.value), target_mass=target_mass, chains=chains
     )
@@ -168,18 +286,80 @@ def solve_lp1(
     instance: SUUInstance,
     chains: list[list[int]] | None = None,
     target_mass: float = DEFAULT_TARGET_MASS,
+    engine: str = "vector",
 ) -> FractionalAccMass:
     """Solve (LP1); always feasible (assign enough steps to every job)."""
     if chains is None:
         chains = instance.dag.chains()
-    lp = build_lp1(instance, chains, target_mass)
-    return _extract(instance, lp.solve(), chains, target_mass, has_d=True)
+    lp = build_lp1(instance, chains, target_mass, engine=engine)
+    return _extract(instance, lp.solve(), chains, target_mass, has_d=True, engine=engine)
 
 
 def solve_lp2(
-    instance: SUUInstance, target_mass: float = DEFAULT_TARGET_MASS
+    instance: SUUInstance,
+    target_mass: float = DEFAULT_TARGET_MASS,
+    engine: str = "vector",
 ) -> FractionalAccMass:
     """Solve (LP2) for independent jobs."""
+    _require_engine(engine)
     chains = [[j] for j in range(instance.n)]
-    lp = build_lp2(instance, target_mass)
-    return _extract(instance, lp.solve(), chains, target_mass, has_d=False)
+    lp = build_lp2(instance, target_mass, engine=engine)
+    return _extract(instance, lp.solve(), chains, target_mass, has_d=False, engine=engine)
+
+
+# ----------------------------------------------------------------------
+# Vectorized accumulated-mass check
+# ----------------------------------------------------------------------
+def check_fractional(
+    instance: SUUInstance,
+    frac: FractionalAccMass,
+    tol: float = 1e-7,
+    windows: bool = True,
+) -> dict:
+    """Vectorized feasibility certificate for an AccMass solution.
+
+    Re-verifies every (LP1) inequality against the instance with array
+    arithmetic — per-job accumulated mass ``Σ_i p_ij x_ij`` at least the
+    target, machine loads and chain window sums at most ``t``, windows
+    ``x_ij <= d_j`` — and reports each margin plus an overall ``"ok"``
+    flag.  ``windows=False`` drops the chain-sum and window gates from
+    ``ok``: (LP2) has neither constraint family, and its synthesized
+    ``d_j = max(1, max_i x_ij)`` may legitimately exceed ``t`` when
+    ``t < 1``.  Shared by the solvers' callers, the ``lpflow``
+    differential oracle, and the equivalence property tests; accepts any
+    object with ``x``/``d``/``t``/``target_mass``/``chains`` fields, so
+    integral solutions can be re-checked through the same code path.
+    """
+    p = instance.p
+    x = np.asarray(frac.x, dtype=np.float64)
+    d = np.asarray(frac.d, dtype=np.float64)
+    masses = (p * x).sum(axis=0)
+    loads = x.sum(axis=1)
+    labels = _chain_labels(instance.n, frac.chains)
+    chain_sums = (
+        np.bincount(labels, weights=d, minlength=len(frac.chains))
+        if instance.n
+        else np.zeros(len(frac.chains))
+    )
+    min_mass = float(masses.min()) if masses.size else 0.0
+    max_load = float(loads.max()) if loads.size else 0.0
+    max_chain = float(chain_sums.max()) if chain_sums.size else 0.0
+    windows_ok = bool(np.all(x <= d[None, :] + tol)) if windows else True
+    chain_ok = (max_chain <= frac.t + tol) if windows else True
+    ok = (
+        min_mass + tol >= frac.target_mass
+        and max_load <= frac.t + tol
+        and chain_ok
+        and windows_ok
+        and bool(np.all(x >= -tol))
+        and bool(np.all(d >= 1.0 - tol))
+    )
+    return {
+        "ok": ok,
+        "min_mass": min_mass,
+        "target_mass": frac.target_mass,
+        "max_machine_load": max_load,
+        "max_chain_window_sum": max_chain,
+        "t": float(frac.t),
+        "windows_ok": windows_ok,
+    }

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core.instance import SUUInstance
 from ..errors import RoundingError
+from ..flow.facade import require_flow_engine
 from ..flow.network import build_rounding_network
 from ..lp.acc_mass import FractionalAccMass
 
@@ -160,6 +161,7 @@ def round_acc_mass(
     frac: FractionalAccMass,
     independent: bool = False,
     low_scale: int = _LOW_SCALE,
+    flow_engine: str = "array",
 ) -> IntegralAccMass:
     """Round a fractional AccMass solution per Theorem 4.1.
 
@@ -172,9 +174,16 @@ def round_acc_mass(
     flooring their bucket demands; the bucket-drop threshold is its
     reciprocal.  The A2 ablation sweeps it — smaller values give shorter
     schedules at the cost of a larger κ scale-up.
+
+    ``flow_engine`` selects the max-flow engine for the Figure-3 network
+    (:data:`repro.flow.FLOW_ENGINES`).  Both engines yield the same flow
+    value (the saturated demand, enforced either way) and a certified
+    integral solution; the individual ``x*_ij`` may differ between
+    engines, as any integral maximum flow is a valid rounding.
     """
     if low_scale < 2:
         raise ValueError("low_scale must be >= 2")
+    require_flow_engine(flow_engine)
     m, n = instance.m, instance.n
     p = instance.p
     x, d, t = frac.x, frac.d, frac.t
@@ -266,6 +275,7 @@ def round_acc_mass(
             pair_caps[(j, i)] = cap
             frac_flow_hint[(j, i)] = low_scale * col[i]
 
+    flow_value = 0
     if flow_jobs:
         machine_cap = int(math.ceil(2 * low_scale * t + eps))
         net = build_rounding_network(
@@ -274,8 +284,9 @@ def round_acc_mass(
             pair_caps=pair_caps,
             machine_cap=machine_cap,
             num_machines=m,
+            engine=flow_engine,
         )
-        net.solve_or_raise()
+        flow_value = net.solve_or_raise()
         x_flow = net.extract_x(m, n)
         x_star += x_flow
         # Window lengths must cover the flow counts.
@@ -292,5 +303,7 @@ def round_acc_mass(
             "high_jobs": high_jobs,
             "bucket_count": bucket_count,
             "low_scale": low_scale,
+            "flow_engine": flow_engine,
+            "flow_value": flow_value,
         },
     )

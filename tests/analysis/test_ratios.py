@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms import serial_baseline, suu_i_adaptive
+from repro.algorithms.msm import msm_alg, msm_mass_of_assignment
 from repro.analysis import compare_algorithms, measure_ratio, reference_makespan
+from repro.bounds.lower import lp_lower_bound
+from repro.lp import LP_ENGINES
+from repro.opt.bruteforce import max_sum_mass_opt
+from repro.opt.malewicz import optimal_expected_makespan
+from repro.verify.cases import CaseSpec, build_instance
 
 
 class TestReferenceMakespan:
@@ -41,6 +47,51 @@ class TestMeasureRatio:
         rec = measure_ratio(tiny_independent, result, reps=600, rng=rng, max_steps=5000)
         # serial is suboptimal here, so mean/TOPT must exceed ~1
         assert rec.ratio > 0.9
+
+
+class TestScenarioGuarantees:
+    """Paper guarantees on the named scenario workloads, routed through
+    the second-generation LP layer: Theorem 3.2's MSM-ALG 1/3 bound and
+    the Lemma 4.2 lower-bound sandwich ``T*/16 ≤ T^OPT ≤ E[schedule]``,
+    with both LP engines agreeing on every bound along the way."""
+
+    @staticmethod
+    def _scenario(family: str):
+        spec = CaseSpec(
+            family=family, schedule="serial", n=6, m=3, instance_seed=11, sim_seed=0
+        )
+        return build_instance(spec)
+
+    @pytest.mark.parametrize("family", ["grid", "project", "greedy_trap"])
+    def test_msm_alg_third_guarantee(self, family):
+        instance = self._scenario(family)
+        opt_mass, _ = max_sum_mass_opt(instance.p, max_enumeration=300_000)
+        greedy = msm_mass_of_assignment(instance.p, msm_alg(instance.p))
+        assert opt_mass / 3.0 - 1e-9 <= greedy <= opt_mass + 1e-9
+
+    @pytest.mark.parametrize("family", ["grid", "project", "greedy_trap"])
+    def test_lp_lower_bound_sandwich(self, family, rng):
+        instance = self._scenario(family)
+        bounds = {e: lp_lower_bound(instance, engine=e) for e in LP_ENGINES}
+        assert bounds["vector"] == pytest.approx(bounds["scalar"], abs=1e-9)
+        topt = optimal_expected_makespan(instance, max_states=1 << 12)
+        assert bounds["vector"] <= topt + 1e-9
+        rec = measure_ratio(
+            instance, serial_baseline(instance), reps=300, rng=rng, max_steps=20_000
+        )
+        assert rec.reference_kind == "exact"
+        assert rec.mean_makespan + 5 * rec.std_err >= bounds["vector"]
+        assert rec.mean_makespan + 5 * rec.std_err >= topt
+
+    @pytest.mark.parametrize("family", ["grid", "project", "greedy_trap"])
+    def test_reference_engines_agree(self, family):
+        instance = self._scenario(family)
+        refs = {
+            e: reference_makespan(instance, exact_limit=0, lp_engine=e)
+            for e in LP_ENGINES
+        }
+        assert all(kind == "lower_bound" for _, kind in refs.values())
+        assert refs["vector"][0] == pytest.approx(refs["scalar"][0], abs=1e-9)
 
 
 class TestCompareAlgorithms:

@@ -1,0 +1,155 @@
+"""Vector-vs-scalar equivalence of the LP construction engines.
+
+Property tests over fuzzer-generated instances: every DAG kind crossed
+with every probability model (the same 42 families `repro.verify` draws
+from, mirroring ``tests/sim/test_exact_engines_equiv.py``).  The sparse
+vector builders (`repro.lp.acc_mass`) and the per-variable scalar golden
+path (`repro.lp.scalar`) must produce structurally identical programs
+(same variables, same named rows in the same order, same assembled
+matrices), optima within 1e-9, feasible `check_fractional` certificates —
+and, downstream, Theorem 4.1 roundings through both flow engines with the
+same outcome kind, equal flow values, and valid certificates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, RoundingError, ValidationError
+from repro.flow import FLOW_ENGINES
+from repro.lp.acc_mass import (
+    LP_ENGINES,
+    build_lp1,
+    build_lp2,
+    check_fractional,
+    solve_lp1,
+    solve_lp2,
+)
+from repro.rounding.round_lp import round_acc_mass
+from repro.verify.cases import DAG_KINDS, PROB_MODELS, CaseSpec, build_instance
+
+FAMILIES = [f"{dag}/{prob}" for dag in DAG_KINDS for prob in PROB_MODELS]
+#: Families the (LP1) → rounding pipeline applies to (chain-shaped DAGs).
+CHAIN_FAMILIES = [
+    f"{dag}/{prob}"
+    for dag in ("independent", "chains")
+    for prob in PROB_MODELS
+]
+
+
+def _instance(family: str, trial: int):
+    """A deterministic fuzzer-family instance (sized for fast LP solves)."""
+    dag_kind = family.partition("/")[0]
+    digest = hashlib.sha256(f"lp:{family}#{trial}".encode()).digest()
+    seed = int.from_bytes(digest[:4], "little")
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 9))
+    m = int(rng.integers(1, 5))
+    params = {}
+    if dag_kind == "chains":
+        params["num_chains"] = int(rng.integers(1, n + 1))
+    elif dag_kind == "layered":
+        params["layers"] = int(rng.integers(1, n + 1))
+    elif dag_kind == "diamond":
+        params["width"] = int(rng.integers(1, 4))
+    spec = CaseSpec(
+        family=family,
+        schedule="round_robin",
+        n=n,
+        m=m,
+        instance_seed=int(rng.integers(0, 2**31)),
+        sim_seed=0,
+        params=params,
+    )
+    return build_instance(spec)
+
+
+def _assert_same_structure(lp_vector, lp_scalar):
+    """Both engines build the *same program*: variables, rows, matrices."""
+    assert lp_vector.num_vars == lp_scalar.num_vars
+    assert lp_vector.num_rows == lp_scalar.num_rows
+    assert lp_vector.vars.names == lp_scalar.vars.names
+    assert lp_vector.row_names == lp_scalar.row_names
+    c_v, a_v, b_v, bounds_v = lp_vector.assemble()
+    c_s, a_s, b_s, bounds_s = lp_scalar.assemble()
+    np.testing.assert_array_equal(c_v, c_s)
+    np.testing.assert_array_equal(b_v, b_s)
+    np.testing.assert_array_equal(bounds_v, bounds_s)
+    np.testing.assert_array_equal(a_v.toarray(), a_s.toarray())
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_lp2_engines_match_on_fuzzer_families(family):
+    for trial in range(2):
+        instance = _instance(family, trial)
+        _assert_same_structure(
+            build_lp2(instance, engine="vector"),
+            build_lp2(instance, engine="scalar"),
+        )
+        fracs = {eng: solve_lp2(instance, engine=eng) for eng in LP_ENGINES}
+        t_v, t_s = fracs["vector"].t, fracs["scalar"].t
+        assert abs(t_v - t_s) <= 1e-9 * max(1.0, abs(t_s)), (
+            f"{family} trial {trial}: vector {t_v!r} vs scalar {t_s!r}"
+        )
+        for eng, frac in fracs.items():
+            cert = check_fractional(instance, frac, windows=False)
+            assert cert["ok"], f"{family} trial {trial} {eng}: {cert}"
+
+
+@pytest.mark.parametrize("family", CHAIN_FAMILIES)
+def test_lp1_and_rounding_engines_match(family):
+    for trial in range(2):
+        instance = _instance(family, trial)
+        chains = instance.dag.chains()
+        _assert_same_structure(
+            build_lp1(instance, chains, engine="vector"),
+            build_lp1(instance, chains, engine="scalar"),
+        )
+        fracs = {eng: solve_lp1(instance, engine=eng) for eng in LP_ENGINES}
+        t_v, t_s = fracs["vector"].t, fracs["scalar"].t
+        assert abs(t_v - t_s) <= 1e-9 * max(1.0, abs(t_s))
+        for eng, frac in fracs.items():
+            cert = check_fractional(instance, frac)
+            assert cert["ok"], f"{family} trial {trial} {eng}: {cert}"
+        # Round the *same* fractional solution through both flow engines:
+        # identical feasibility kind; on success, same rounding case, equal
+        # flow values, and a valid certificate from each path.
+        outcomes = {}
+        for feng in FLOW_ENGINES:
+            try:
+                outcomes[feng] = (
+                    "ok",
+                    round_acc_mass(instance, fracs["vector"], flow_engine=feng),
+                )
+            except RoundingError:
+                outcomes[feng] = ("rounding-error", None)
+            except ReproError:
+                outcomes[feng] = ("error", None)
+        kinds = {kind for kind, _ in outcomes.values()}
+        assert len(kinds) == 1, f"flow engines disagree on feasibility: {outcomes}"
+        if outcomes["array"][0] == "ok":
+            int_a, int_s = outcomes["array"][1], outcomes["scalar"][1]
+            assert int_a.meta["case"] == int_s.meta["case"]
+            assert int_a.meta.get("flow_value", 0) == int_s.meta.get("flow_value", 0)
+            for integral in (int_a, int_s):
+                integral.check(instance)
+
+
+def test_unknown_lp_engine_rejected(tiny_independent):
+    with pytest.raises(ValidationError, match="unknown LP engine"):
+        solve_lp2(tiny_independent, engine="warp")
+    with pytest.raises(ValidationError, match="unknown LP engine"):
+        build_lp1(tiny_independent, engine="warp")
+
+
+def test_solutions_share_extraction_layout(tiny_independent):
+    """Dense (x, d) readouts agree entrywise, not just the optimum."""
+    for solver, kwargs in ((solve_lp1, {}), (solve_lp2, {})):
+        frac_v = solver(tiny_independent, engine="vector", **kwargs)
+        frac_s = solver(tiny_independent, engine="scalar", **kwargs)
+        np.testing.assert_allclose(frac_v.x, frac_s.x, atol=1e-9)
+        np.testing.assert_allclose(frac_v.d, frac_s.d, atol=1e-9)
+        np.testing.assert_allclose(frac_v.masses, frac_s.masses, atol=1e-9)

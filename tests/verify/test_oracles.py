@@ -35,6 +35,7 @@ class TestHealthyCode:
             "opt",
             "msm",
             "rounding",
+            "lpflow",
             "delays",
         )
 
@@ -118,6 +119,33 @@ class TestPlantedBugs:
         monkeypatch.setattr(oracles, "lower_bounds", inflated)
         out = check_case(spec_for("exact_regimen", n=2), cfg=FAST)
         assert any(d.check == "opt" and "lower bound" in d.message for d in out)
+
+    def test_broken_vector_lp_engine_is_caught(self, monkeypatch):
+        """An inflated vector-engine optimum must trip the lpflow oracle."""
+        real = oracles.solve_lp2
+
+        def biased(instance, *args, engine="vector", **kw):
+            frac = real(instance, *args, engine=engine, **kw)
+            if engine == "vector":
+                frac.t += 0.125
+            return frac
+
+        monkeypatch.setattr(oracles, "solve_lp2", biased)
+        out = check_case(spec_for("serial"), cfg=FAST, only="lpflow")
+        assert any(d.check == "lpflow" and "(LP2)" in d.message for d in out)
+
+    def test_broken_array_flow_engine_is_caught(self, monkeypatch):
+        """An array engine that undershoots max-flow must trip lpflow."""
+        from repro.flow.arrays import ArrayFlowNetwork
+
+        real = ArrayFlowNetwork.max_flow
+
+        def lossy(self, s, t):
+            return max(0, real(self, s, t) - 1)
+
+        monkeypatch.setattr(ArrayFlowNetwork, "max_flow", lossy)
+        out = check_case(spec_for("serial"), cfg=FAST, only="lpflow")
+        assert any(d.check == "lpflow" and "flow" in d.message for d in out)
 
 class TestDegenerateVarianceGuard:
     """The false-positive class the first fuzz campaigns hit: all 240
