@@ -12,6 +12,14 @@ The claim asserted here is deliberately below the typically measured
 factor (~20×) to absorb machine noise; the measured number is recorded in
 ``benchmarks/results/perf_batch_engine.json``.  Statistical equivalence of
 the two engines is proved separately in ``tests/sim/test_batch.py``.
+
+``test_perf_disabled_telemetry_overhead`` guards the ``repro.obs``
+disabled path: instrumentation hooks sit at phase boundaries only, so a
+run with telemetry off must spend well under 2% of its wall-clock inside
+them.  The guard is computed, not raced: one traced run counts the hook
+invocations, a microbenchmark prices the disabled-path hook, and the
+product is compared against the measured run time — immune to the
+scheduler noise a two-timings comparison would drown in.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ import time
 
 import numpy as np
 
-from repro import SUUInstance
+from repro import SUUInstance, obs
 from repro.algorithms import suu_i_adaptive
 from repro.analysis import Table
 from repro.experiments.suites import A3_REGIMES
@@ -63,7 +71,7 @@ def _measure():
     return rows
 
 
-def test_perf_batched_vs_scalar(benchmark, recorder):
+def test_perf_batched_vs_scalar(benchmark, recorder, phase_breakdown):
     rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
     table = Table(
         ["regime", "scalar (s)", "batched (s)", "speedup", "|Δmean|/se"],
@@ -84,3 +92,114 @@ def test_perf_batched_vs_scalar(benchmark, recorder):
     recorder.claim("means_statistically_compatible", all(r["mean_gap_se"] < 4.0 for r in rows))
     assert overall >= 8.0  # headroom below the ~20x typically measured
     assert all(r["mean_gap_se"] < 4.0 for r in rows)
+
+    # Phase-time breakdown of one traced batched run on the first regime,
+    # with the engine's step/memo counters alongside.
+    regime, lo, hi, seed = A3_REGIMES[0]
+    inst = SUUInstance(
+        np.random.default_rng(seed).uniform(lo, hi, size=(6, 16)), name=regime
+    )
+    policy = suu_i_adaptive(inst).schedule
+    recorder.add(
+        kind="telemetry",
+        **phase_breakdown(
+            lambda: evaluate(
+                inst, policy, mode="mc", reps=REPS, seed=2,
+                max_steps=MAX_STEPS, engine="batched",
+            )
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Telemetry disabled-path overhead guard
+# ----------------------------------------------------------------------
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _hook_calls_per_run(inst, policy) -> int:
+    """Count obs hook invocations during one batched evaluate call."""
+    calls = 0
+    real_span, real_add = obs.span, obs.add
+
+    def counting_span(name, **attrs):
+        nonlocal calls
+        calls += 1
+        return real_span(name, **attrs)
+
+    def counting_add(name, value=1):
+        nonlocal calls
+        calls += 1
+        return real_add(name, value)
+
+    obs.span, obs.add = counting_span, counting_add
+    try:
+        with obs.capture():
+            evaluate(
+                inst, policy, mode="mc", reps=REPS, seed=3,
+                max_steps=MAX_STEPS, engine="batched",
+            )
+    finally:
+        obs.span, obs.add = real_span, real_add
+    return calls
+
+
+def _disabled_hook_cost_s(samples: int = 200_000) -> float:
+    """Per-call cost of a disabled obs.span / obs.add pair (min of 3)."""
+    assert not obs.enabled()
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(samples):
+            with obs.span("bench.noop", k=1):
+                pass
+            obs.add("bench.noop", 1)
+        best = min(best, time.perf_counter() - t0)
+    return best / samples
+
+
+def test_perf_disabled_telemetry_overhead(recorder):
+    regime, lo, hi, seed = A3_REGIMES[0]
+    inst = SUUInstance(
+        np.random.default_rng(seed).uniform(lo, hi, size=(6, 16)), name=regime
+    )
+    policy = suu_i_adaptive(inst).schedule
+
+    obs.disable()
+    evaluate(  # warm-up
+        inst, policy, mode="mc", reps=REPS, seed=3, max_steps=MAX_STEPS,
+        engine="batched",
+    )
+    run_s = min(
+        _timed(
+            lambda: evaluate(
+                inst, policy, mode="mc", reps=REPS, seed=3,
+                max_steps=MAX_STEPS, engine="batched",
+            )
+        )
+        for _ in range(3)
+    )
+    hooks = _hook_calls_per_run(inst, policy)
+    obs.disable()
+    per_hook_s = _disabled_hook_cost_s()
+    overhead = hooks * per_hook_s / run_s
+    print(
+        f"\ntelemetry off: {hooks} hook call(s)/run x {per_hook_s * 1e9:.0f} ns "
+        f"= {hooks * per_hook_s * 1e6:.1f} us of {run_s * 1e3:.1f} ms run "
+        f"({overhead:.5%})"
+    )
+    recorder.add(
+        kind="disabled_overhead",
+        hook_calls_per_run=hooks,
+        per_hook_ns=per_hook_s * 1e9,
+        run_s=run_s,
+        overhead_fraction=overhead,
+    )
+    recorder.claim("disabled_overhead_below_2pct", overhead < MAX_DISABLED_OVERHEAD)
+    assert overhead < MAX_DISABLED_OVERHEAD
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

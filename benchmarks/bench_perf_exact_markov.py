@@ -95,7 +95,7 @@ def _measure():
     return rows
 
 
-def test_perf_sparse_vs_scalar_exact(benchmark, recorder):
+def test_perf_sparse_vs_scalar_exact(benchmark, recorder, phase_breakdown):
     rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
     table = Table(
         ["workload", "scalar (s)", "sparse (s)", "speedup", "E[makespan]", "|Δ|"],
@@ -119,3 +119,14 @@ def test_perf_sparse_vs_scalar_exact(benchmark, recorder):
     assert regimen_row["speedup"] >= SPEEDUP_FLOOR
     assert all(r["speedup"] > 1.0 for r in rows)
     assert all(r["agreement"] <= 1e-9 for r in rows)
+
+    # Phase-time breakdown of one traced sparse solve on the acceptance
+    # workload: lattice build vs layer sweep, plus the states counter.
+    inst = random_instance(N, M, dag_kind="chains", num_chains=4, rng=7)
+    regimen = state_round_robin_regimen(inst).schedule
+    recorder.add(
+        kind="telemetry",
+        **phase_breakdown(
+            lambda: evaluate(inst, regimen, mode="exact", engine="sparse")
+        ),
+    )

@@ -152,7 +152,7 @@ def _measure():
     return rows
 
 
-def test_perf_lp_rounding(benchmark, recorder):
+def test_perf_lp_rounding(benchmark, recorder, phase_breakdown):
     rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
     table = Table(
         ["workload", "scalar (s)", "new (s)", "speedup", "|Δ|"],
@@ -189,3 +189,14 @@ def test_perf_lp_rounding(benchmark, recorder):
     assert flow_row["speedup"] >= FLOW_SPEEDUP_FLOOR
     assert solve_row["agreement"] <= 1e-9
     assert flow_row["agreement"] == 0
+
+    # Phase-time breakdown of one traced vector LP2 solve plus the array
+    # flow workload: lp.build vs lp.solve, with rows/nnz/phase counters.
+    n_solve, m_solve = min(N, 256), 32
+    inst_s = random_instance(n_solve, m_solve, dag_kind="independent", rng=11)
+
+    def traced():
+        solve_lp2(inst_s, engine="vector")
+        _flow_workload("array", 3 * N, max(8, 2 * N // 5))
+
+    recorder.add(kind="telemetry", **phase_breakdown(traced))

@@ -18,18 +18,26 @@ with ≥4 usable cores — process parallelism cannot beat physics on a 1-core
 container.  The measurement always runs and is recorded (with the core
 count) in ``benchmarks/results/perf_parallel.json``; the assertion is
 gated on the cores actually available.
+
+A final traced run (telemetry captured through ``repro.obs``) records the
+per-shard and per-phase wall-clock breakdown into the same results file,
+so the JSON shows *where* suite time goes, not just the totals.
+``REPRO_PERF_PARALLEL_REPS`` overrides the replication count for quick
+local runs.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
+from repro import obs
 from repro.analysis import Table
 from repro.experiments import ExperimentSpec, run_suite
 from repro.experiments.suites import A3_REGIMES
 from repro.parallel import ProcessExecutor, default_workers
 
-REPS = 1000
+REPS = int(os.environ.get("REPRO_PERF_PARALLEL_REPS", "1000"))
 MAX_STEPS = 300_000
 WORKER_COUNTS = (1, 2, 4)
 REQUIRED_SPEEDUP = 2.5
@@ -78,6 +86,52 @@ def _measure():
     return runs
 
 
+def _walk_spans(node, depth=0):
+    yield node, depth
+    for child in node.get("children", ()):
+        yield from _walk_spans(child, depth + 1)
+
+
+def _traced_breakdown(workers: int) -> dict:
+    """One traced suite run → per-shard and per-phase wall-clock rows.
+
+    Workers ship their span trees back through the task protocol; the
+    runner grafts them in deterministic order, so the ``parallel.shard``
+    spans below carry each shard's own in-worker duration.
+    """
+    specs = _suite()
+    with obs.capture() as tel:
+        with ProcessExecutor(workers=workers) as exe:
+            run_suite(specs, cache_dir=None, executor=exe)
+    snapshot = tel.snapshot()
+    shards = []
+    phase_ms: dict[str, list[float]] = {}
+    for root in snapshot["spans"]:
+        for span, _ in _walk_spans(root):
+            phase_ms.setdefault(span["name"], []).append(span["dur_ns"] / 1e6)
+            if span["name"] == "parallel.shard":
+                shards.append(
+                    {
+                        "shard": span["attrs"].get("shard"),
+                        "reps": span["attrs"].get("reps"),
+                        "pid": span["pid"],
+                        "wall_ms": span["dur_ns"] / 1e6,
+                    }
+                )
+    phases = [
+        {
+            "phase": name,
+            "count": len(durs),
+            "total_ms": sum(durs),
+            "mean_ms": sum(durs) / len(durs),
+        }
+        for name, durs in sorted(
+            phase_ms.items(), key=lambda kv: -sum(kv[1])
+        )
+    ]
+    return {"counters": snapshot["counters"], "shards": shards, "phases": phases}
+
+
 def test_perf_parallel_scaling(benchmark, recorder):
     runs = benchmark.pedantic(_measure, rounds=1, iterations=1)
     cores = default_workers()
@@ -119,6 +173,20 @@ def test_perf_parallel_scaling(benchmark, recorder):
     )
     recorder.claim("worker_count_invariant", invariant)
     assert invariant, "worker counts disagreed on the merged estimates"
+
+    # Per-shard / per-phase timing breakdown from one traced run: where
+    # the suite's wall-clock actually goes, shard by shard.
+    breakdown = _traced_breakdown(workers=min(2, cores))
+    recorder.add(kind="telemetry", **breakdown)
+    n_shards = len(breakdown["shards"])
+    slowest = max(breakdown["shards"], key=lambda s: s["wall_ms"])
+    print(
+        f"\ntraced run: {n_shards} shard spans, slowest shard "
+        f"{slowest['shard']} at {slowest['wall_ms']:.1f} ms; counters: "
+        f"{breakdown['counters']}"
+    )
+    recorder.claim("telemetry_covers_every_shard", n_shards >= 16)
+    assert n_shards >= 16, "traced run lost shard spans in the merge"
 
     if cores >= 4:
         recorder.claim(

@@ -62,14 +62,56 @@ def _jsonable(v):
     return v
 
 
-@pytest.fixture
+@pytest.fixture(scope="module")
 def recorder(request):
-    """Per-test recorder named after the bench module."""
+    """Per-module recorder named after the bench module.
+
+    Module-scoped so that a bench file with several tests (e.g. the main
+    sweep plus a telemetry-overhead guard) accumulates all rows into one
+    results JSON instead of the last test overwriting the first.
+    """
     module = request.module.__name__
     exp_id = module.replace("bench_", "")
     rec = ExperimentRecorder(exp_id)
     yield rec
     rec.flush()
+
+
+@pytest.fixture
+def phase_breakdown():
+    """Run a callable under telemetry capture → per-phase timing rows.
+
+    Every ``bench_perf_*.py`` records one of these into its results JSON
+    (``kind: "telemetry"``) so the committed numbers show *where* the
+    measured wall-clock goes, phase by phase, alongside the totals.
+    """
+    from repro import obs
+
+    def run(fn) -> dict:
+        with obs.capture() as tel:
+            fn()
+        snapshot = tel.snapshot()
+        phase_ms: dict[str, list[float]] = {}
+
+        def walk(node):
+            phase_ms.setdefault(node["name"], []).append(node["dur_ns"] / 1e6)
+            for child in node.get("children", ()):
+                walk(child)
+
+        for root in snapshot["spans"]:
+            walk(root)
+        phases = [
+            {
+                "phase": name,
+                "count": len(durs),
+                "total_ms": sum(durs),
+                "mean_ms": sum(durs) / len(durs),
+            }
+            for name, durs in sorted(phase_ms.items(), key=lambda kv: -sum(kv[1]))
+        ]
+        return {"phases": phases, "counters": snapshot["counters"]}
+
+    return run
 
 
 @pytest.fixture

@@ -13,6 +13,7 @@ Subcommands
 ``demo``             end-to-end demonstration on a built-in scenario
 ``run-experiments``  run a named experiment suite through the cached runner
 ``fuzz``             differential cross-engine verification (repro.verify)
+``trace``            summarize Chrome trace-event JSON from ``evaluate --trace``
 
 Every makespan number any subcommand prints flows through
 :func:`repro.evaluate.evaluate`.
@@ -134,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--shards", type=int, default=None)
     ev.add_argument("--require-finished", action="store_true")
     ev.add_argument("--json", type=Path, help="also write the full report JSON here")
+    ev.add_argument(
+        "--trace",
+        type=Path,
+        metavar="OUT.json",
+        help="capture telemetry and write a Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing); also prints a phase table",
+    )
 
     r = sub.add_parser(
         "simulate",
@@ -267,6 +275,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink", action="store_true", help="skip minimization of failures"
     )
     f.add_argument("--quiet", action="store_true", help="suppress per-case progress")
+
+    tr = sub.add_parser(
+        "trace",
+        help="inspect Chrome trace-event JSON written by `evaluate --trace`",
+    )
+    tr_sub = tr.add_subparsers(dest="trace_command", required=True)
+    ts = tr_sub.add_parser(
+        "summarize",
+        help="flat per-span timing table plus counter totals of a trace file",
+    )
+    ts.add_argument("input", type=Path, help="trace-event .json")
     return parser
 
 
@@ -376,6 +395,7 @@ def _load_or_solve_schedule(args, inst, cyclic_only: bool):
 
 
 def _cmd_evaluate(args) -> int:
+    from . import obs
     from .errors import ReproError
     from .evaluate import EvaluationRequest, evaluate
 
@@ -402,7 +422,8 @@ def _cmd_evaluate(args) -> int:
             shards=args.shards,
             require_finished=args.require_finished,
         )
-        report = evaluate(inst, schedule, request=request)
+        with obs.capture(enabled=args.trace is not None) as tel:
+            report = evaluate(inst, schedule, request=request)
     except ReproError as exc:
         print(f"evaluation failed: {exc}", file=sys.stderr)
         return 2
@@ -434,6 +455,13 @@ def _cmd_evaluate(args) -> int:
     if args.json:
         args.json.write_text(report.to_json(indent=2))
         print(f"report written to {args.json}")
+    if args.trace:
+        from .obs import chrome_trace, render_summary, summarize_trace
+
+        trace = chrome_trace(tel.snapshot())
+        args.trace.write_text(json.dumps(trace, indent=2))
+        print(f"trace written to {args.trace} (load in Perfetto / chrome://tracing)")
+        print(render_summary(summarize_trace(trace)))
     return 0
 
 
@@ -628,6 +656,18 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args) -> int:
+    from .obs import render_summary, summarize_trace
+
+    try:
+        trace = json.loads(args.input.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read trace {args.input}: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(summarize_trace(trace)))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -641,6 +681,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "run-experiments": _cmd_run_experiments,
         "fuzz": _cmd_fuzz,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

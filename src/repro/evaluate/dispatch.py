@@ -48,6 +48,12 @@ class Route:
     engine: str  # exact: "sparse"|"scalar"; mc: "auto"|"batched"|"scalar"
     sharded: bool
     reason: str
+    #: Auto-mode cost model, recorded as dispatch-span attributes: the
+    #: exact DP allocation this request would need and the cap it was
+    #: compared against (None when the decision never priced the exact
+    #: route, e.g. forced modes or schedules with no finite chain).
+    cost: int | None = None
+    cap: int | None = None
 
 
 def schedule_kind(schedule) -> str:
@@ -151,11 +157,15 @@ def select_route(instance: SUUInstance, schedule, request: EvaluationRequest) ->
                 _exact_engine(request),
                 False,
                 f"auto: exact chain fits ({cost} <= max_states {cap})",
+                cost=cost,
+                cap=cap,
             )
         return Route(
             "mc",
             _mc_engine(request),
             False,
             f"auto: exact chain needs {cost} DP entries > max_states {cap}",
+            cost=cost,
+            cap=cap,
         )
     return Route("mc", _mc_engine(request), False, f"auto: {why_not}")

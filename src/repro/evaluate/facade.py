@@ -16,11 +16,11 @@ module talks to the engine layer (enforced by
 from __future__ import annotations
 
 import math
-import time
 import warnings
 
 import numpy as np
 
+from .. import obs
 from .._util import as_rng
 from ..core.instance import SUUInstance
 from ..core.schedule import Regimen, ScheduleResult
@@ -62,24 +62,51 @@ def evaluate(
     its guard raises :class:`~repro.errors.ExactSolverLimitError` —
     identically for every schedule kind and backend.
     """
-    if isinstance(schedule, ScheduleResult):
-        schedule = schedule.schedule
-    if request is None:
-        request = EvaluationRequest(**kwargs)
-    elif kwargs:
-        raise ValidationError(
-            "pass either a pre-built EvaluationRequest or keyword arguments, "
-            f"not both (got request= plus {sorted(kwargs)})"
+    # The stopwatch starts before request construction/validation so
+    # wall_time_s covers the whole call, not just the post-dispatch body.
+    sw = obs.stopwatch()
+    tracing = obs.enabled()
+    counters_before = obs.counters() if tracing else {}
+    with obs.span("evaluate") as root:
+        if isinstance(schedule, ScheduleResult):
+            schedule = schedule.schedule
+        with obs.span("evaluate.validate"):
+            if request is None:
+                request = EvaluationRequest(**kwargs)
+            elif kwargs:
+                raise ValidationError(
+                    "pass either a pre-built EvaluationRequest or keyword "
+                    f"arguments, not both (got request= plus {sorted(kwargs)})"
+                )
+            if hasattr(schedule, "validate_against"):  # oblivious / cyclic tables
+                schedule.validate_against(instance)
+        with obs.span("evaluate.dispatch") as dspan:
+            route = select_route(instance, schedule, request)
+            dspan.set(
+                mode=route.mode,
+                engine=route.engine,
+                sharded=route.sharded,
+                reason=route.reason,
+                exact_state_cost=route.cost,
+                max_states_cap=route.cap,
+            )
+        root.set(
+            schedule_kind=schedule_kind(schedule),
+            metrics=list(request.metrics),
+            mode=route.mode,
+            engine=route.engine,
         )
-    if hasattr(schedule, "validate_against"):  # oblivious / cyclic tables
-        schedule.validate_against(instance)
-    route = select_route(instance, schedule, request)
-    t0 = time.perf_counter()
-    if route.mode == "exact":
-        report = _run_exact(instance, schedule, request, route)
-    else:
-        report = _run_mc(instance, schedule, request, route)
-    report.wall_time_s = time.perf_counter() - t0
+        with obs.span("evaluate.run", mode=route.mode, engine=route.engine):
+            if route.mode == "exact":
+                report = _run_exact(instance, schedule, request, route)
+            else:
+                report = _run_mc(instance, schedule, request, route)
+    report.wall_time_s = sw.elapsed_s
+    if tracing:
+        report.telemetry = {
+            "span": root.to_dict(),
+            "counters": obs.counters_since(counters_before),
+        }
     return report
 
 
@@ -217,7 +244,8 @@ def _run_mc(
         # are bitwise the legacy path's at the same seed — including the
         # sharded route, whose root-seed derivation distinguishes an
         # integer (reproducible passthrough) from a generator (one draw).
-        est = run(request.reps, request.seed)
+        with obs.span("mc.round", round=1, reps=request.reps):
+            est = run(request.reps, request.seed)
         samples = est.samples
         mean, std_err = est.mean, est.std_err
         n_reps, truncated = est.n_reps, est.truncated
@@ -240,7 +268,8 @@ def _run_mc(
         lo, hi = math.inf, -math.inf
         next_reps = request.reps
         while True:
-            est = run(next_reps, rng)
+            with obs.span("mc.round", round=rounds + 1, reps=next_reps):
+                est = run(next_reps, rng)
             rounds += 1
             chunks.append(np.asarray(est.samples))
             truncated += est.truncated

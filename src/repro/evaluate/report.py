@@ -55,7 +55,12 @@ class EvaluationReport:
     reason:
         Human-readable dispatch rationale (why this route was picked).
     wall_time_s:
-        End-to-end wall-clock of the evaluation.
+        End-to-end wall-clock of the evaluation, from request construction
+        through dispatch to the engine run.
+    telemetry:
+        Captured instrumentation (``repro.obs``) when collection was on
+        during the call: ``{"span": <evaluate span tree>, "counters":
+        {...}}``.  None when telemetry was disabled (the default).
     """
 
     mode: str
@@ -76,6 +81,7 @@ class EvaluationReport:
     reason: str = ""
     wall_time_s: float = 0.0
     request: EvaluationRequest | None = None
+    telemetry: dict | None = None
 
     # -- compatibility views ----------------------------------------------
     @property
@@ -153,6 +159,7 @@ class EvaluationReport:
             "reason": self.reason,
             "wall_time_s": self.wall_time_s,
             "request": req,
+            "telemetry": self.telemetry,
         }
 
     def to_json(self, indent: int | None = None) -> str:

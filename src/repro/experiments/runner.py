@@ -37,6 +37,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..errors import ExperimentError, StaleCacheWarning
 from ..parallel.estimate import merged_estimate
 from ..parallel.executor import Executor, get_executor
@@ -307,6 +308,11 @@ class _PendingSpec:
     engine_used: str | None = None
     have_exact: bool = False
     elapsed_s: float = 0.0
+    #: Worker telemetry snapshots for the non-shard tasks (shard snapshots
+    #: ride inside each ShardOutcome); grafted in a fixed order at
+    #: assembly time, not completion order.
+    exact_telemetry: dict | None = None
+    reference_telemetry: dict | None = None
 
     def complete(self) -> bool:
         if self.plan is None:
@@ -318,6 +324,11 @@ class _PendingSpec:
 
 def _assemble(pend: _PendingSpec) -> ExperimentResult:
     spec = pend.spec
+    # Graft order within a spec is fixed (exact, shards by index, then
+    # reference) regardless of task completion order, so a traced suite's
+    # per-spec subtrees are reproducible; counters are order-independent
+    # sums either way.
+    obs.graft_snapshot(pend.exact_telemetry)
     if pend.plan is None:
         assert pend.exact_value is not None
         mean, std_err = pend.exact_value, 0.0
@@ -336,6 +347,7 @@ def _assemble(pend: _PendingSpec) -> ExperimentResult:
         lo, hi = est.min, est.max
         truncated = est.truncated
         engine_used = est.engine_used
+    obs.graft_snapshot(pend.reference_telemetry)
     ratio = None
     if pend.need_reference and pend.reference is not None:
         ratio = mean / max(pend.reference, 1e-12)
@@ -403,12 +415,15 @@ def run_suite(
             _reference_cache_path(cache, pend.spec_hash).unlink(missing_ok=True)
         finish(idx, result)
 
+    trace = obs.enabled()
     for idx, spec in enumerate(specs):
         if cache is not None and not force:
             hit = _load_cached_result(_cache_path(cache, spec))
             if hit is not None:
+                obs.add("experiments.cache.hits")
                 finish(idx, hit)
                 continue
+            obs.add("experiments.cache.misses")
         exact_mode = spec.evaluation_mode == "exact"
         pend = _PendingSpec(
             spec=spec,
@@ -421,7 +436,11 @@ def run_suite(
         if exact_mode:
             # One front-door evaluation replaces the whole shard plan; it
             # is cheap and deterministic, so it has no partial cache.
-            tasks.append(SpecTask(spec_index=idx, spec_json=payload, kind="exact"))
+            tasks.append(
+                SpecTask(
+                    spec_index=idx, spec_json=payload, kind="exact", trace=trace
+                )
+            )
         for shard in pend.plan.shards if pend.plan is not None else ():
             cached = None
             if cache is not None and not force:
@@ -429,6 +448,11 @@ def run_suite(
                     _shard_cache_path(cache, pend.spec_hash, shard),
                     pend.spec_hash,
                     shard,
+                )
+                obs.add(
+                    "experiments.shard_cache.hits"
+                    if cached is not None
+                    else "experiments.shard_cache.misses"
                 )
             if cached is not None:
                 pend.shard_outcomes[shard.index] = ShardOutcome(
@@ -443,7 +467,13 @@ def run_suite(
                     pend.certificates = cached["certificates"]
             else:
                 tasks.append(
-                    SpecTask(spec_index=idx, spec_json=payload, kind="shard", shard=shard)
+                    SpecTask(
+                        spec_index=idx,
+                        spec_json=payload,
+                        kind="shard",
+                        shard=shard,
+                        trace=trace,
+                    )
                 )
         if pend.need_reference:
             cached_ref = None
@@ -457,7 +487,14 @@ def run_suite(
                 pend.have_reference = True
                 pend.elapsed_s += cached_ref["elapsed_s"]
             else:
-                tasks.append(SpecTask(spec_index=idx, spec_json=payload, kind="reference"))
+                tasks.append(
+                    SpecTask(
+                        spec_index=idx,
+                        spec_json=payload,
+                        kind="reference",
+                        trace=trace,
+                    )
+                )
         if pend.complete():
             # Every piece came from the shard cache (an interrupted run
             # that had finished computing but not merging).
@@ -471,6 +508,7 @@ def run_suite(
         if outcome.kind == "exact":
             pend.exact_value = outcome.exact_value
             pend.engine_used = outcome.engine_used
+            pend.exact_telemetry = outcome.telemetry
             pend.have_exact = True
             pend.algorithm = pend.algorithm or outcome.algorithm
             if outcome.certificates is not None:
@@ -503,6 +541,7 @@ def run_suite(
         else:
             pend.reference = outcome.reference
             pend.reference_kind = outcome.reference_kind
+            pend.reference_telemetry = outcome.telemetry
             pend.have_reference = True
             if cache is not None:
                 path = _reference_cache_path(cache, pend.spec_hash)
@@ -524,7 +563,10 @@ def run_suite(
 
     try:
         if tasks:
-            exe.map_tasks(run_spec_task, tasks, progress=on_task_done)
+            with obs.span(
+                "experiments.map", tasks=len(tasks), executor=exe.name
+            ):
+                exe.map_tasks(run_spec_task, tasks, progress=on_task_done)
     finally:
         if owns_executor:
             exe.close()

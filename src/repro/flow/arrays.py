@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from .. import obs
 from ..errors import ValidationError
 
 __all__ = ["ArrayFlowEdge", "ArrayFlowNetwork"]
@@ -163,10 +164,13 @@ class ArrayFlowNetwork:
         cap, to, frm = self._cap, self._to, self._frm
         start, edge_ids = self._adjacency()
         total = 0
+        phases = 0
+        augmentations = 0
         while True:
             level = self._bfs_levels(s, t, start, edge_ids)
             if level is None:
                 break
+            phases += 1
             it = start[: self.num_nodes].copy()
             path: list[int] = []  # edge ids from s to the current node
             u = s
@@ -174,6 +178,7 @@ class ArrayFlowNetwork:
                 if u == t:
                     aug = min(cap[e] for e in path)
                     total += aug
+                    augmentations += 1
                     retreat = len(path)
                     for idx, e in enumerate(path):
                         cap[e] -= aug
@@ -203,6 +208,8 @@ class ArrayFlowNetwork:
                     e = path.pop()
                     u = frm[e]
                     it[u] += 1  # the arc into the dead end is spent
+        obs.add("flow.phases", phases)
+        obs.add("flow.augmentations", augmentations)
         return total
 
     def min_cut_side(self, s: int) -> set[int]:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import RoundingError, ValidationError
 from .arrays import ArrayFlowEdge, ArrayFlowNetwork
 from .dinic import FlowEdge, FlowNetwork
@@ -44,7 +45,9 @@ class RoundingNetwork:
 
     def solve(self) -> int:
         """Run max-flow; returns the flow value."""
-        return self.network.max_flow(self.source, self.sink)
+        engine = type(self.network).__name__
+        with obs.span("flow.solve", engine=engine, nodes=self.network.num_nodes):
+            return self.network.max_flow(self.source, self.sink)
 
     def solve_or_raise(self) -> int:
         """Run max-flow and require full demand saturation.

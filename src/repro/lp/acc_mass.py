@@ -39,6 +39,7 @@ from itertools import repeat
 
 import numpy as np
 
+from .. import obs
 from ..core.instance import SUUInstance
 from ..errors import ValidationError
 from .model import LinearProgram, LPSolution
@@ -240,11 +241,12 @@ def build_lp1(
     if chains is None:
         chains = instance.dag.chains()
     _validate_chains(instance, chains)
-    if engine == "scalar":
-        from . import scalar
+    with obs.span("lp.build", lp="lp1", engine=engine, n=instance.n, m=instance.m):
+        if engine == "scalar":
+            from . import scalar
 
-        return scalar.build_lp1_scalar(instance, chains, target_mass)
-    return _build_lp1_vector(instance, chains, target_mass)
+            return scalar.build_lp1_scalar(instance, chains, target_mass)
+        return _build_lp1_vector(instance, chains, target_mass)
 
 
 def build_lp2(
@@ -254,11 +256,12 @@ def build_lp2(
 ) -> LinearProgram:
     """Assemble (LP2): (LP1) without chain/window constraints (Thm 4.5)."""
     _require_engine(engine)
-    if engine == "scalar":
-        from . import scalar
+    with obs.span("lp.build", lp="lp2", engine=engine, n=instance.n, m=instance.m):
+        if engine == "scalar":
+            from . import scalar
 
-        return scalar.build_lp2_scalar(instance, target_mass)
-    return _build_lp2_vector(instance, target_mass)
+            return scalar.build_lp2_scalar(instance, target_mass)
+        return _build_lp2_vector(instance, target_mass)
 
 
 def _extract(

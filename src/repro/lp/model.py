@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
+from .. import obs
 from ..errors import LPError, ValidationError
 
 __all__ = ["VariableIndexer", "LinearProgram", "LPSolution"]
@@ -245,7 +246,13 @@ class LinearProgram:
         if self.num_vars == 0:
             return LPSolution(value=0.0, x=np.zeros(0), indexer=self.vars)
         c, A, b, bounds = self.assemble()
-        res = linprog(c, A_ub=A if self.num_rows else None, b_ub=b if self.num_rows else None, bounds=bounds, method="highs")
+        obs.add("lp.vars", self.num_vars)
+        obs.add("lp.rows", self.num_rows)
+        obs.add("lp.nnz", int(A.nnz))
+        with obs.span(
+            "lp.solve", rows=self.num_rows, vars=self.num_vars, nnz=int(A.nnz)
+        ):
+            res = linprog(c, A_ub=A if self.num_rows else None, b_ub=b if self.num_rows else None, bounds=bounds, method="highs")
         if not res.success:
             raise LPError(f"LP solve failed: status={res.status} ({res.message})")
         return LPSolution(value=float(res.fun), x=np.asarray(res.x), indexer=self.vars)

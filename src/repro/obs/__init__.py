@@ -1,0 +1,56 @@
+"""``repro.obs`` — zero-dependency instrumentation for the whole stack.
+
+Hierarchical :func:`span`\\ s, typed :func:`add` counters, and exporters
+(Chrome trace-event JSON for ``chrome://tracing``/Perfetto, flat summary
+tables, and the ``telemetry`` block on ``EvaluationReport.to_json()``).
+Collection is **off by default** — every hook short-circuits on one
+boolean — and turns on via :func:`capture` (scoped), :func:`enable`
+(ambient), the ``REPRO_TRACE=1`` environment variable, or
+``suu evaluate --trace out.json``.
+
+The span taxonomy and counter catalogue live in
+``docs/architecture.md`` ("Observability"); the disabled-path overhead
+guard lives in ``benchmarks/bench_perf_batch_engine.py``.
+"""
+
+from .core import (
+    Span,
+    Stopwatch,
+    Telemetry,
+    add,
+    capture,
+    counters,
+    counters_since,
+    disable,
+    enable,
+    enabled,
+    graft_snapshot,
+    span,
+    stopwatch,
+)
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    render_summary,
+    summarize_trace,
+)
+
+__all__ = [
+    "Span",
+    "Stopwatch",
+    "Telemetry",
+    "add",
+    "capture",
+    "chrome_trace",
+    "chrome_trace_json",
+    "counters",
+    "counters_since",
+    "disable",
+    "enable",
+    "enabled",
+    "graft_snapshot",
+    "render_summary",
+    "span",
+    "stopwatch",
+    "summarize_trace",
+]

@@ -15,6 +15,7 @@ import pickle
 
 import numpy as np
 
+from .. import obs
 from ..errors import (
     ScheduleError,
     SimulationLimitError,
@@ -58,6 +59,12 @@ def merged_estimate(
     from ..sim.montecarlo import MakespanEstimate
 
     outcomes = sorted(outcomes, key=lambda o: o.shard_index)
+    # Reassemble worker telemetry in shard-index order (not completion
+    # order), so the merged trace — spans and summed counters alike — is
+    # bitwise identical for every worker count.  No-op when tracing is off.
+    obs.add("parallel.shards", len(outcomes))
+    for o in outcomes:
+        obs.graft_snapshot(o.telemetry)
     merged = merge_partials(o.partial for o in outcomes)
     if merged.count != reps:
         raise ValidationError(
@@ -108,6 +115,7 @@ def sharded_estimate(
     owns_executor = not isinstance(executor, Executor)
     if exe.name == "process":
         _check_picklable(instance, schedule)
+    trace = obs.enabled()
     tasks = [
         _ObjectShardTask(
             instance=instance,
@@ -116,18 +124,26 @@ def sharded_estimate(
             max_steps=max_steps,
             engine=engine,
             keep_samples=keep_samples,
+            trace=trace,
         )
         for shard in plan.shards
     ]
-    try:
-        outcomes = exe.map_tasks(estimate_shard, tasks)
-    finally:
-        if owns_executor:
-            exe.close()
-    return merged_estimate(
-        outcomes,
-        reps=reps,
-        max_steps=max_steps,
-        keep_samples=keep_samples,
-        require_finished=require_finished,
-    )
+    with obs.span(
+        "parallel.map",
+        shards=len(plan.shards),
+        executor=exe.name,
+        workers=workers,
+        engine=engine,
+    ):
+        try:
+            outcomes = exe.map_tasks(estimate_shard, tasks)
+        finally:
+            if owns_executor:
+                exe.close()
+        return merged_estimate(
+            outcomes,
+            reps=reps,
+            max_steps=max_steps,
+            keep_samples=keep_samples,
+            require_finished=require_finished,
+        )

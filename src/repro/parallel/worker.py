@@ -24,11 +24,11 @@ warning for the merged estimate, instead of one per shard per process.
 from __future__ import annotations
 
 import json
-import time
 import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
+from .. import obs
 from ..errors import CensoredEstimateWarning
 from .merge import PartialEstimate
 from .sharding import Shard
@@ -44,13 +44,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """What one replication shard sends back to the aggregator."""
+    """What one replication shard sends back to the aggregator.
+
+    ``telemetry`` is the worker-side :meth:`~repro.obs.Telemetry.snapshot`
+    when the task asked for tracing (``None`` otherwise); the parent
+    grafts the snapshots back in shard-index order, so the reassembled
+    trace is deterministic and identical for every worker count.
+    """
 
     shard_index: int
     partial: PartialEstimate
     engine_used: str
     elapsed_s: float
     samples: tuple[int, ...] | None = None
+    telemetry: dict | None = None
 
 
 def _estimate_partial(
@@ -60,31 +67,38 @@ def _estimate_partial(
     max_steps: int,
     engine: str,
     keep_samples: bool,
+    trace: bool = False,
 ) -> ShardOutcome:
     """Run one shard through the (single-process) estimator and summarize it."""
     # Engine-layer call: shards are below the repro.evaluate front door,
     # which is what routed the request here in the first place.
     from ..sim.montecarlo import _estimate_makespan
 
-    t0 = time.perf_counter()
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", CensoredEstimateWarning)
-        est = _estimate_makespan(
-            instance,
-            schedule,
-            reps=shard.reps,
-            rng=shard.rng(),
-            max_steps=max_steps,
-            keep_samples=True,
-            engine=engine,
-        )
+    sw = obs.stopwatch()
+    # The capture scopes this shard's spans/counters into its own snapshot
+    # whether the shard runs in a forked worker or in-process (serial
+    # executor) — both travel the same snapshot/graft protocol.
+    with obs.capture(enabled=trace) as tel:
+        with obs.span("parallel.shard", shard=shard.index, reps=shard.reps):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", CensoredEstimateWarning)
+                est = _estimate_makespan(
+                    instance,
+                    schedule,
+                    reps=shard.reps,
+                    rng=shard.rng(),
+                    max_steps=max_steps,
+                    keep_samples=True,
+                    engine=engine,
+                )
     assert est.samples is not None
     return ShardOutcome(
         shard_index=shard.index,
         partial=PartialEstimate.from_samples(est.samples, truncated=est.truncated),
         engine_used=est.engine_used,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=sw.elapsed_s,
         samples=tuple(int(x) for x in est.samples) if keep_samples else None,
+        telemetry=tel.snapshot() if tel is not None else None,
     )
 
 
@@ -98,6 +112,7 @@ class _ObjectShardTask:
     max_steps: int
     engine: str
     keep_samples: bool
+    trace: bool = False
 
 
 def estimate_shard(task: _ObjectShardTask) -> ShardOutcome:
@@ -108,6 +123,7 @@ def estimate_shard(task: _ObjectShardTask) -> ShardOutcome:
         task.max_steps,
         task.engine,
         task.keep_samples,
+        trace=task.trace,
     )
 
 
@@ -161,6 +177,7 @@ class SpecTask:
     spec_json: str
     kind: str
     shard: Shard | None = None
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -177,6 +194,8 @@ class SpecTaskOutcome:
     exact_value: float | None = None
     engine_used: str | None = None
     elapsed_s: float = 0.0
+    #: Worker-side telemetry snapshot when the task asked for tracing.
+    telemetry: dict | None = None
 
 
 def run_spec_task(task: SpecTask) -> SpecTaskOutcome:
@@ -190,6 +209,7 @@ def run_spec_task(task: SpecTask) -> SpecTaskOutcome:
             max_steps=spec.max_steps,
             engine=spec.engine,
             keep_samples=False,
+            trace=task.trace,
         )
         # Certificates ride on shard 0 only: every shard holds the same
         # schedule, so sending n_shards copies would be pure overhead.
@@ -205,13 +225,18 @@ def run_spec_task(task: SpecTask) -> SpecTaskOutcome:
             algorithm=result.algorithm,
             certificates=certificates,
             elapsed_s=outcome.elapsed_s,
+            telemetry=outcome.telemetry,
         )
     if task.kind == "exact":
         from ..evaluate import evaluate
 
         spec, instance, result = _build_from_spec(task.spec_json)
-        t0 = time.perf_counter()
-        report = evaluate(instance, result.schedule, request=spec.evaluation_request())
+        sw = obs.stopwatch()
+        with obs.capture(enabled=task.trace) as tel:
+            with obs.span("parallel.exact", spec=task.spec_index):
+                report = evaluate(
+                    instance, result.schedule, request=spec.evaluation_request()
+                )
         from ..experiments.runner import _jsonable
 
         certificates = {k: _jsonable(v) for k, v in result.certificates.items()}
@@ -222,21 +247,27 @@ def run_spec_task(task: SpecTask) -> SpecTaskOutcome:
             certificates=certificates,
             exact_value=report.makespan,
             engine_used=report.engine,
-            elapsed_s=time.perf_counter() - t0,
+            elapsed_s=sw.elapsed_s,
+            telemetry=tel.snapshot() if tel is not None else None,
         )
     if task.kind == "reference":
         from ..analysis.ratios import reference_makespan
 
         # Only the instance is needed; never pay for the spec's solver here.
         spec, instance = _build_instance_from_spec(task.spec_json)
-        t0 = time.perf_counter()
-        reference, kind = reference_makespan(instance, exact_limit=spec.exact_limit)
+        sw = obs.stopwatch()
+        with obs.capture(enabled=task.trace) as tel:
+            with obs.span("parallel.reference", spec=task.spec_index):
+                reference, kind = reference_makespan(
+                    instance, exact_limit=spec.exact_limit
+                )
         return SpecTaskOutcome(
             spec_index=task.spec_index,
             kind="reference",
             reference=float(reference),
             reference_kind=kind,
-            elapsed_s=time.perf_counter() - t0,
+            elapsed_s=sw.elapsed_s,
+            telemetry=tel.snapshot() if tel is not None else None,
         )
     raise ValueError(f"unknown spec task kind {task.kind!r}")
 

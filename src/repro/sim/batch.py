@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._util import as_rng
 from ..core.instance import SUUInstance
 from ..core.mass import assignment_success_prob
@@ -185,6 +186,7 @@ def simulate_batch(
     done = np.zeros(reps, dtype=bool)
     memo: dict = {}
     queries = 0
+    lookups = 0
     steps = 0
 
     for t in range(max_steps):
@@ -198,6 +200,7 @@ def simulate_batch(
         packed = np.packbits(fin_active, axis=1)
         uniq, inverse = np.unique(packed, axis=0, return_inverse=True)
         q_rows = np.empty((uniq.shape[0], n), dtype=np.float64)
+        lookups += uniq.shape[0]
         for k in range(uniq.shape[0]):
             token = uniq[k].tobytes()
             key = frontier_key(token, t)
@@ -219,6 +222,12 @@ def simulate_batch(
         makespans[newly_done] = t + 1
         done[newly_done] = True
 
+    # Counter flush happens once per batch, outside the lockstep loop, so
+    # the disabled path costs nothing per step.
+    obs.add("batch.steps", steps)
+    obs.add("batch.policy_queries", queries)
+    obs.add("batch.memo_hits", lookups - queries)
+    obs.add("batch.memo_entries", len(memo))
     return BatchExecutionResult(
         makespans=makespans,
         finished=done.copy(),

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import obs
 from ..._util import iterable_from_bitmask
 from ...core.instance import SUUInstance
 from ...core.schedule import IDLE, CyclicSchedule, Regimen
@@ -80,29 +81,32 @@ def expected_makespan_regimen(
     if n == 0:
         return 0.0
     size = 1 << n
-    table = _materialize_regimen(regimen, n, instance.m)
-    elig = eligibility_masks(instance)
-    pc = popcount_array(np.arange(size, dtype=np.int64))
-    blocks = build_regimen_structure(
-        instance, table, elig, pc, max_states=max_states
-    )
-    expect = np.zeros(size, dtype=np.float64)
-    for c in range(1, n + 1):
-        for block in blocks:
-            sel, deltas, weights = block.layer(c)
-            if sel.size == 0:
-                continue
-            stay = weights[:, 0]
-            blocked = stay >= 1.0 - _STAY_EPS
-            if np.any(blocked):
-                bad = int(sel[int(np.argmax(blocked))])
-                raise ScheduleError(
-                    f"regimen makes no progress from state "
-                    f"{iterable_from_bitmask(bad)}; expected makespan is infinite"
-                )
-            succ = expect[sel[:, None] ^ deltas[:, 1:]]
-            acc = 1.0 + np.einsum("gt,gt->g", weights[:, 1:], succ)
-            expect[sel] = acc / (1.0 - stay)
+    obs.add("exact.states_allocated", size)
+    with obs.span("exact.lattice.build", states=size, op="regimen"):
+        table = _materialize_regimen(regimen, n, instance.m)
+        elig = eligibility_masks(instance)
+        pc = popcount_array(np.arange(size, dtype=np.int64))
+        blocks = build_regimen_structure(
+            instance, table, elig, pc, max_states=max_states
+        )
+    with obs.span("exact.layer_sweep", layers=n, blocks=len(blocks), op="regimen"):
+        expect = np.zeros(size, dtype=np.float64)
+        for c in range(1, n + 1):
+            for block in blocks:
+                sel, deltas, weights = block.layer(c)
+                if sel.size == 0:
+                    continue
+                stay = weights[:, 0]
+                blocked = stay >= 1.0 - _STAY_EPS
+                if np.any(blocked):
+                    bad = int(sel[int(np.argmax(blocked))])
+                    raise ScheduleError(
+                        f"regimen makes no progress from state "
+                        f"{iterable_from_bitmask(bad)}; expected makespan is infinite"
+                    )
+                succ = expect[sel[:, None] ^ deltas[:, 1:]]
+                acc = 1.0 + np.einsum("gt,gt->g", weights[:, 1:], succ)
+                expect[sel] = acc / (1.0 - stay)
     return float(expect[size - 1])
 
 
@@ -161,57 +165,60 @@ def expected_makespan_cyclic(
     if n == 0:
         return 0.0
     size = 1 << n
-    elig = eligibility_masks(instance)
-    pc = popcount_array(np.arange(size, dtype=np.int64))
-    structures = _position_structures(
-        instance, schedule, total, elig, pc, max_states
-    )
+    obs.add("exact.states_allocated", size * total)
+    with obs.span("exact.lattice.build", states=size, positions=total, op="cyclic"):
+        elig = eligibility_masks(instance)
+        pc = popcount_array(np.arange(size, dtype=np.int64))
+        structures = _position_structures(
+            instance, schedule, total, elig, pc, max_states
+        )
     expect = np.zeros((size, total), dtype=np.float64)
-    for c in range(1, n + 1):
-        lay = np.flatnonzero(pc == c)
-        G = lay.size
-        a = np.empty((G, total), dtype=np.float64)
-        b = np.empty((G, total), dtype=np.float64)
-        for tau in range(total):
-            nxt_tau = tau + 1 if tau + 1 < total else P
-            for block in structures[tau]:
-                sel, deltas, weights = block.layer(c)
-                if sel.size == 0:
-                    continue
-                pos = np.searchsorted(lay, sel)
-                b[pos, tau] = weights[:, 0]
-                if deltas.shape[1] > 1:
-                    w = weights[:, 1:]
-                    succ = expect[sel[:, None] ^ deltas[:, 1:], nxt_tau]
-                    # Zero-weight subsets may point at dead (E = inf)
-                    # states; mask them so 0 * inf never produces NaN
-                    # (the scalar engine drops zero-probability branches).
-                    a[pos, tau] = 1.0 + np.einsum(
-                        "gt,gt->g", w, np.where(w > 0.0, succ, 0.0)
-                    )
-                else:
-                    a[pos, tau] = 1.0
-        # Cycle closed form: E_P = A + B E_P around the loop (rho shape).
-        A = np.zeros(G, dtype=np.float64)
-        B = np.ones(G, dtype=np.float64)
-        with np.errstate(invalid="ignore"):
-            for off in range(L):
-                tau = P + off
-                A = A + B * a[:, tau]
-                B = B * b[:, tau]
-            dead = (B >= 1.0 - _STAY_EPS) | ~np.isfinite(A)
-            e_start = np.where(
-                dead, np.inf, A / np.where(dead, 1.0, 1.0 - B)
-            )
-            # Backward substitution; b == 0 short-circuits so that a dead
-            # successor (E = inf) does not poison a zero-probability link.
-            e_next = e_start
-            for tau in range(total - 1, -1, -1):
-                e_tau = np.where(
-                    b[:, tau] == 0.0, a[:, tau], a[:, tau] + b[:, tau] * e_next
+    with obs.span("exact.layer_sweep", layers=n, positions=total, op="cyclic"):
+        for c in range(1, n + 1):
+            lay = np.flatnonzero(pc == c)
+            G = lay.size
+            a = np.empty((G, total), dtype=np.float64)
+            b = np.empty((G, total), dtype=np.float64)
+            for tau in range(total):
+                nxt_tau = tau + 1 if tau + 1 < total else P
+                for block in structures[tau]:
+                    sel, deltas, weights = block.layer(c)
+                    if sel.size == 0:
+                        continue
+                    pos = np.searchsorted(lay, sel)
+                    b[pos, tau] = weights[:, 0]
+                    if deltas.shape[1] > 1:
+                        w = weights[:, 1:]
+                        succ = expect[sel[:, None] ^ deltas[:, 1:], nxt_tau]
+                        # Zero-weight subsets may point at dead (E = inf)
+                        # states; mask them so 0 * inf never produces NaN
+                        # (the scalar engine drops zero-probability branches).
+                        a[pos, tau] = 1.0 + np.einsum(
+                            "gt,gt->g", w, np.where(w > 0.0, succ, 0.0)
+                        )
+                    else:
+                        a[pos, tau] = 1.0
+            # Cycle closed form: E_P = A + B E_P around the loop (rho shape).
+            A = np.zeros(G, dtype=np.float64)
+            B = np.ones(G, dtype=np.float64)
+            with np.errstate(invalid="ignore"):
+                for off in range(L):
+                    tau = P + off
+                    A = A + B * a[:, tau]
+                    B = B * b[:, tau]
+                dead = (B >= 1.0 - _STAY_EPS) | ~np.isfinite(A)
+                e_start = np.where(
+                    dead, np.inf, A / np.where(dead, 1.0, 1.0 - B)
                 )
-                expect[lay, tau] = e_tau
-                e_next = e_tau
+                # Backward substitution; b == 0 short-circuits so that a dead
+                # successor (E = inf) does not poison a zero-probability link.
+                e_next = e_start
+                for tau in range(total - 1, -1, -1):
+                    e_tau = np.where(
+                        b[:, tau] == 0.0, a[:, tau], a[:, tau] + b[:, tau] * e_next
+                    )
+                    expect[lay, tau] = e_tau
+                    e_next = e_tau
     value = float(expect[size - 1, 0])
     if not np.isfinite(value):
         raise ScheduleError(
@@ -238,28 +245,33 @@ def state_distribution(
     check_state_budget(n, horizon + 1, max_states)
     schedule.validate_against(instance)
     size = 1 << n
+    obs.add("exact.states_allocated", size * (horizon + 1))
     dist = np.zeros((horizon + 1, size), dtype=np.float64)
     dist[0, size - 1] = 1.0
     P = schedule.prefix_length
     L = schedule.cycle_length
-    elig = eligibility_masks(instance)
-    pc = popcount_array(np.arange(size, dtype=np.int64))
     positions = min(horizon, P + L)
-    structures = _position_structures(
-        instance, schedule, positions, elig, pc, max_states
-    )
-    for t in range(horizon):
-        tau = t if t < P else P + (t - P) % L
-        row = dist[t]
-        nxt = dist[t + 1]
-        for block in structures[tau]:
-            mass = row[block.states]
-            targets = block.states[:, None] ^ block.deltas
-            nxt += np.bincount(
-                targets.ravel(),
-                weights=(mass[:, None] * block.weights).ravel(),
-                minlength=size,
-            )
+    with obs.span(
+        "exact.lattice.build", states=size, positions=positions, op="forward"
+    ):
+        elig = eligibility_masks(instance)
+        pc = popcount_array(np.arange(size, dtype=np.int64))
+        structures = _position_structures(
+            instance, schedule, positions, elig, pc, max_states
+        )
+    with obs.span("exact.layer_sweep", steps=horizon, op="forward"):
+        for t in range(horizon):
+            tau = t if t < P else P + (t - P) % L
+            row = dist[t]
+            nxt = dist[t + 1]
+            for block in structures[tau]:
+                mass = row[block.states]
+                targets = block.states[:, None] ^ block.deltas
+                nxt += np.bincount(
+                    targets.ravel(),
+                    weights=(mass[:, None] * block.weights).ravel(),
+                    minlength=size,
+                )
     return dist
 
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .._deprecation import warn_legacy
 from ..core.instance import SUUInstance
 from ..core.schedule import CyclicSchedule, Regimen
@@ -79,9 +80,10 @@ def _expected_makespan_regimen(
     infinite), and :class:`~repro.errors.ExactSolverLimitError` when
     ``2^n`` exceeds ``max_states``.
     """
-    return _engine(engine).expected_makespan_regimen(
-        instance, regimen, max_states=max_states
-    )
+    with obs.span("exact.solve", op="makespan_regimen", engine=engine, n=instance.n):
+        return _engine(engine).expected_makespan_regimen(
+            instance, regimen, max_states=max_states
+        )
 
 
 def _expected_makespan_cyclic(
@@ -96,9 +98,10 @@ def _expected_makespan_cyclic(
     covers ``2^n × (P + L)`` entries.  See the engine modules for the
     recurrence and the rho-shape closed form.
     """
-    return _engine(engine).expected_makespan_cyclic(
-        instance, schedule, max_states=max_states
-    )
+    with obs.span("exact.solve", op="makespan_cyclic", engine=engine, n=instance.n):
+        return _engine(engine).expected_makespan_cyclic(
+            instance, schedule, max_states=max_states
+        )
 
 
 def _state_distribution(
@@ -116,9 +119,12 @@ def _state_distribution(
     ``max_states`` guard covers the full ``2^n × (horizon + 1)``
     allocation.
     """
-    return _engine(engine).state_distribution(
-        instance, schedule, horizon, max_states=max_states
-    )
+    with obs.span(
+        "exact.solve", op="state_distribution", engine=engine, n=instance.n
+    ):
+        return _engine(engine).state_distribution(
+            instance, schedule, horizon, max_states=max_states
+        )
 
 
 def _exact_completion_curve(
@@ -133,9 +139,12 @@ def _exact_completion_curve(
     The exact counterpart of :func:`repro.sim.montecarlo.completion_curve`,
     usable for small ``n``; the two agree to sampling error (tested).
     """
-    return _engine(engine).exact_completion_curve(
-        instance, schedule, horizon, max_states=max_states
-    )
+    with obs.span(
+        "exact.solve", op="completion_curve", engine=engine, n=instance.n
+    ):
+        return _engine(engine).exact_completion_curve(
+            instance, schedule, horizon, max_states=max_states
+        )
 
 # ----------------------------------------------------------------------
 # Deprecated public shims — external callers only.  First-party code goes

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._deprecation import warn_legacy
 from .._util import as_rng
 from ..core.instance import SUUInstance
@@ -230,26 +231,33 @@ def _estimate_makespan(
         schedule.validate_against(instance)
     if engine == "auto" and isinstance(schedule, (ObliviousSchedule, CyclicSchedule)):
         engine_used = "oblivious-lockstep"
-        samples, finished_flags = _vectorized_oblivious(
-            instance, schedule, reps, rng, max_steps
-        )
+        with obs.span("mc.engine", engine=engine_used, reps=reps):
+            samples, finished_flags = _vectorized_oblivious(
+                instance, schedule, reps, rng, max_steps
+            )
         truncated = int((~finished_flags).sum())
     elif engine == "batched" or (engine == "auto" and batchable(schedule)):
         engine_used = "batched"
-        batch = simulate_batch(instance, schedule, reps, rng=rng, max_steps=max_steps)
+        with obs.span("mc.engine", engine=engine_used, reps=reps):
+            batch = simulate_batch(
+                instance, schedule, reps, rng=rng, max_steps=max_steps
+            )
         samples = batch.makespans
         truncated = batch.truncated
     else:
         engine_used = "scalar"
-        samples = np.empty(reps, dtype=np.int64)
-        truncated = 0
-        for r in range(reps):
-            res = simulate(instance, schedule, rng=rng, max_steps=max_steps)
-            if res.finished:
-                samples[r] = res.makespan
-            else:
-                samples[r] = max_steps
-                truncated += 1
+        with obs.span("mc.engine", engine=engine_used, reps=reps):
+            samples = np.empty(reps, dtype=np.int64)
+            truncated = 0
+            for r in range(reps):
+                res = simulate(instance, schedule, rng=rng, max_steps=max_steps)
+                if res.finished:
+                    samples[r] = res.makespan
+                else:
+                    samples[r] = max_steps
+                    truncated += 1
+    obs.add("mc.reps", reps)
+    obs.add("mc.truncated", truncated)
     if require_finished and truncated:
         raise SimulationLimitError(
             f"{truncated}/{reps} replications hit the {max_steps}-step budget"

@@ -11,13 +11,13 @@ simulation streams, and shrinking all derive from it.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from .cases import CaseSpec, sample_case
 from .corpus import CorpusEntry, save_entry
 from .oracles import CheckConfig, Discrepancy, check_case
@@ -87,10 +87,10 @@ def run_fuzz(
     """
     cfg = cfg or CheckConfig()
     rng = np.random.default_rng(seed)
-    t0 = time.perf_counter()
+    sw = obs.stopwatch()
     report = FuzzReport(seed=seed, cases_run=0, elapsed_s=0.0)
     for index in range(budget):
-        if time_budget_s is not None and time.perf_counter() - t0 >= time_budget_s:
+        if time_budget_s is not None and sw.elapsed_s >= time_budget_s:
             break
         spec = sample_case(
             rng,
@@ -135,5 +135,5 @@ def run_fuzz(
                     "status to 'fixed'",
                 )
                 save_entry(entry, corpus_dir)
-    report.elapsed_s = time.perf_counter() - t0
+    report.elapsed_s = sw.elapsed_s
     return report

@@ -1,0 +1,182 @@
+"""Span/counter/capture semantics of the ``repro.obs`` collection layer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.core import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Every test starts and ends with collection fully torn down."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestDisabledPath:
+    def test_off_by_default(self):
+        assert not obs.enabled()
+
+    def test_span_returns_shared_null_object(self):
+        # The disabled path must allocate nothing: same singleton each call.
+        assert obs.span("a") is _NULL_SPAN
+        assert obs.span("b", k=1) is _NULL_SPAN
+
+    def test_null_span_supports_the_full_api(self):
+        with obs.span("a") as s:
+            assert s.set(answer=42) is s
+
+    def test_add_and_counters_are_noops(self):
+        obs.add("x", 3)
+        assert obs.counters() == {}
+
+    def test_graft_is_a_noop(self):
+        obs.graft_snapshot({"spans": [], "counters": {"x": 1}})
+        assert obs.counters() == {}
+
+
+class TestCapture:
+    def test_collects_nested_spans(self):
+        with obs.capture() as tel:
+            with obs.span("outer", k=1):
+                with obs.span("inner"):
+                    pass
+        assert not obs.enabled()
+        assert [r.name for r in tel.roots] == ["outer"]
+        (outer,) = tel.roots
+        assert outer.attrs == {"k": 1}
+        assert [c.name for c in outer.children] == ["inner"]
+        assert outer.closed and outer.children[0].closed
+        assert outer.dur_ns >= outer.children[0].dur_ns
+
+    def test_counters_accumulate(self):
+        with obs.capture() as tel:
+            obs.add("mc.reps", 100)
+            obs.add("mc.reps", 50)
+            obs.add("lp.rows")
+        assert tel.counters == {"mc.reps": 150, "lp.rows": 1}
+
+    def test_counters_since_reports_deltas(self):
+        with obs.capture():
+            obs.add("a", 5)
+            before = obs.counters()
+            obs.add("a", 2)
+            obs.add("b", 1)
+            assert obs.counters_since(before) == {"a": 2, "b": 1}
+
+    def test_disabled_capture_is_a_passthrough(self):
+        with obs.capture(enabled=False) as tel:
+            assert tel is None
+            assert not obs.enabled()
+            with obs.span("ghost"):
+                pass
+
+    def test_nested_capture_wins(self):
+        # The innermost collector receives spans; the outer one resumes
+        # afterwards — how a worker shard records its own subtree.
+        with obs.capture() as outer:
+            with obs.span("parent"):
+                with obs.capture() as inner:
+                    with obs.span("shard"):
+                        pass
+                with obs.span("after"):
+                    pass
+        assert [r.name for r in inner.roots] == ["shard"]
+        (parent,) = outer.roots
+        assert [c.name for c in parent.children] == ["after"]
+
+    def test_exception_unwind_leaves_closed_parented_spans(self):
+        with pytest.raises(RuntimeError):
+            with obs.capture() as tel:
+                with obs.span("outer"):
+                    with obs.span("inner"):
+                        raise RuntimeError("boom")
+        (outer,) = tel.roots
+        assert outer.closed
+        (inner,) = outer.children
+        assert inner.closed
+
+    def test_enable_installs_ambient_collector(self):
+        tel = obs.enable()
+        assert obs.enabled()
+        with obs.span("ambient"):
+            pass
+        obs.add("c", 2)
+        assert [r.name for r in tel.roots] == ["ambient"]
+        assert tel.counters == {"c": 2}
+
+
+class TestSnapshotGraft:
+    def _shard_snapshot(self, index: int) -> dict:
+        with obs.capture() as tel:
+            with obs.span("parallel.shard", shard=index):
+                with obs.span("mc.engine"):
+                    pass
+            obs.add("mc.reps", 10)
+        return tel.snapshot()
+
+    def test_snapshot_is_jsonable_wire_format(self):
+        snap = self._shard_snapshot(0)
+        assert set(snap) == {"pid", "spans", "counters"}
+        (tree,) = snap["spans"]
+        assert tree["name"] == "parallel.shard"
+        assert tree["attrs"] == {"shard": 0}
+        assert [c["name"] for c in tree["children"]] == ["mc.engine"]
+        assert snap["counters"] == {"mc.reps": 10}
+
+    def test_graft_attaches_under_open_span_and_sums_counters(self):
+        snaps = [self._shard_snapshot(i) for i in range(3)]
+        with obs.capture() as tel:
+            with obs.span("parallel.map"):
+                for snap in snaps:
+                    obs.graft_snapshot(snap)
+        (pmap,) = tel.roots
+        assert [c.attrs["shard"] for c in pmap.children] == [0, 1, 2]
+        assert all(c.closed for c in pmap.children)
+        assert tel.counters == {"mc.reps": 30}
+
+    def test_graft_none_is_a_noop(self):
+        with obs.capture() as tel:
+            obs.graft_snapshot(None)
+        assert tel.roots == [] and tel.counters == {}
+
+
+class TestThreads:
+    def test_span_stacks_are_per_thread(self):
+        # Two threads opening spans concurrently must not parent across
+        # threads; each thread's tree lands as its own root.
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            barrier.wait()
+            with obs.span(name):
+                barrier.wait()
+                with obs.span(f"{name}.child"):
+                    pass
+
+        with obs.capture() as tel:
+            threads = [
+                threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert sorted(r.name for r in tel.roots) == ["t0", "t1"]
+        for root in tel.roots:
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+            assert root.tid == root.children[0].tid
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotone_nonnegative(self):
+        sw = obs.stopwatch()
+        first = sw.elapsed_ns
+        second = sw.elapsed_ns
+        assert 0 <= first <= second
+        assert sw.elapsed_s >= first / 1e9

@@ -1,0 +1,132 @@
+"""Exporters: Chrome trace-event JSON shape, summaries, schema validation."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs import chrome_trace, chrome_trace_json, render_summary, summarize_trace
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_validator():
+    """Import tools/validate_trace.py regardless of test order."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import validate_trace
+
+        return validate_trace
+    finally:
+        sys.path.remove(str(REPO / "tools"))
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def snapshot():
+    with obs.capture() as tel:
+        with obs.span("evaluate", mode="exact"):
+            with obs.span("evaluate.run"):
+                with obs.span("exact.solve"):
+                    pass
+            with obs.span("evaluate.validate"):
+                pass
+        obs.add("exact.states_allocated", 256)
+        obs.add("mc.reps", 100)
+    return tel.snapshot()
+
+
+class TestChromeTrace:
+    def test_event_kinds_and_ordering(self, snapshot):
+        trace = chrome_trace(snapshot)
+        phs = [e["ph"] for e in trace["traceEvents"]]
+        # Metadata first, then one X per span, then the counters.
+        assert phs == ["M", "X", "X", "X", "X", "C", "C"]
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_children_nest_inside_parents(self, snapshot):
+        trace = chrome_trace(snapshot)
+        by_name = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+        outer = by_name["evaluate"]
+        for name in ("evaluate.run", "exact.solve", "evaluate.validate"):
+            inner = by_name[name]
+            assert outer["ts"] <= inner["ts"]
+            assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+            assert inner["pid"] == outer["pid"]
+
+    def test_attrs_become_args(self, snapshot):
+        trace = chrome_trace(snapshot)
+        (root,) = [e for e in trace["traceEvents"] if e["name"] == "evaluate"]
+        assert root["args"] == {"mode": "exact"}
+
+    def test_counters_are_stamped_at_trace_end(self, snapshot):
+        trace = chrome_trace(snapshot)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        end = max(e["ts"] + e["dur"] for e in xs)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert [c["name"] for c in counters] == ["exact.states_allocated", "mc.reps"]
+        assert all(c["ts"] == end for c in counters)
+        assert counters[0]["args"]["value"] == 256
+
+    def test_json_roundtrip(self, snapshot):
+        assert json.loads(chrome_trace_json(snapshot)) == chrome_trace(snapshot)
+
+
+class TestSchemaValidation:
+    def test_export_passes_the_checked_in_schema(self, snapshot, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        out.write_text(chrome_trace_json(snapshot))
+        assert _load_validator().main([str(out), "--min-depth", "3"]) == 0
+
+    def test_validator_rejects_a_malformed_event(self, tmp_path, capsys):
+        out = tmp_path / "bad.json"
+        out.write_text(json.dumps({"traceEvents": [{"name": "x", "ph": "Q"}]}))
+        assert _load_validator().main([str(out)]) == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_validator_enforces_min_depth(self, tmp_path, capsys):
+        flat = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0, "dur": 5, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 10, "dur": 5, "pid": 1, "tid": 1},
+            ]
+        }
+        out = tmp_path / "flat.json"
+        out.write_text(json.dumps(flat))
+        assert _load_validator().main([str(out), "--min-depth", "2"]) == 1
+        assert _load_validator().main([str(out), "--min-depth", "1"]) == 0
+
+
+class TestSummaries:
+    def test_rows_aggregate_per_name(self, snapshot):
+        rows = summarize_trace(chrome_trace(snapshot))
+        span_rows = {r["name"]: r for r in rows if "counter" not in r}
+        assert set(span_rows) == {"evaluate", "evaluate.run", "exact.solve", "evaluate.validate"}
+        ev = span_rows["evaluate"]
+        assert ev["count"] == 1
+        assert ev["total_ms"] == ev["mean_ms"] == ev["min_ms"] == ev["max_ms"]
+        # The root span dominates: rows come back total-time descending.
+        assert rows[0]["name"] == "evaluate"
+        counter_rows = [r for r in rows if "counter" in r]
+        assert counter_rows == [
+            {"name": "exact.states_allocated", "counter": 256},
+            {"name": "mc.reps", "counter": 100},
+        ]
+
+    def test_render_is_an_aligned_text_table(self, snapshot):
+        text = render_summary(summarize_trace(chrome_trace(snapshot)))
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        assert set(lines[1]) <= {"-", " "}
+        assert "counters:" in text
+        assert "mc.reps" in text

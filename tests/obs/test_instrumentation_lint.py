@@ -1,0 +1,61 @@
+"""src/ never reads the clock behind the telemetry's back.
+
+Satellite acceptance (CI / tooling): an AST lint fails on any bare
+``time.perf_counter()``-family call inside ``src/repro/`` outside the
+``obs`` package — ``obs.span`` / ``obs.stopwatch`` are the sanctioned
+timing layer.  The same checker runs as a CI step
+(``tools/check_instrumentation.py``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_checker():
+    """Import tools/check_instrumentation.py regardless of test order."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_instrumentation
+
+        return check_instrumentation
+    finally:
+        sys.path.remove(str(REPO / "tools"))
+
+
+class TestChecker:
+    def test_src_has_no_bare_timing_calls(self):
+        assert _load_checker().main() == 0
+
+    def test_checker_catches_planted_callsites(self, tmp_path):
+        # The checker must actually detect violations, not just pass.
+        checker = _load_checker()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n"
+            "from time import perf_counter\n"
+            "t0 = time.perf_counter_ns()\n"
+            "t1 = perf_counter()\n"
+            "time.sleep(0.0)  # not a clock read; allowed\n"
+        )
+        violations = checker.check_file(bad, "bad.py")
+        assert len(violations) == 3  # the from-import, both calls
+
+    def test_aliased_from_import_is_caught(self, tmp_path):
+        checker = _load_checker()
+        bad = tmp_path / "alias.py"
+        bad.write_text("from time import monotonic as now\nx = now()\n")
+        violations = checker.check_file(bad, "alias.py")
+        assert len(violations) == 2
+
+    def test_cli_entry_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_instrumentation.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -250,3 +250,45 @@ class TestGantt:
         main(["generate", str(out), "-n", "4", "-m", "2", "--seed", "1"])
         capsys.readouterr()
         assert main(["gantt", str(out), "--method", "adaptive"]) == 2
+
+
+class TestTrace:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        out = tmp_path / "inst.json"
+        main(["generate", str(out), "-n", "6", "-m", "2", "--dag", "chains", "--seed", "3"])
+        return out
+
+    def test_evaluate_trace_writes_valid_chrome_trace(
+        self, instance_file, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "out.json"
+        assert (
+            main(["evaluate", str(instance_file), "--trace", str(trace_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "span" in out  # the inline summary table
+        trace = json.loads(trace_path.read_text())
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert "evaluate" in names
+        assert "evaluate.dispatch" in names
+
+    def test_trace_summarize_renders_table(self, instance_file, tmp_path, capsys):
+        trace_path = tmp_path / "out.json"
+        main(["evaluate", str(instance_file), "--trace", str(trace_path)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "evaluate.validate" in out
+        assert "total (ms)" in out
+
+    def test_trace_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_no_trace_flag_leaves_telemetry_off(self, instance_file, capsys):
+        from repro import obs
+
+        assert main(["evaluate", str(instance_file)]) == 0
+        assert not obs.enabled()

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Validate a ``--trace`` export against ``tools/trace_schema.json``.
+
+Two layers of checking, both dependency-free:
+
+1. **Schema** — a minimal JSON-Schema interpreter covering exactly the
+   keywords ``trace_schema.json`` uses (``type``, ``required``,
+   ``properties``, ``items``, ``enum``, ``minimum``, ``minLength``,
+   ``minItems``).  The schema file stays the single source of truth for
+   the export shape; this script just executes it.
+2. **Structure** — trace-event semantics the schema language can't
+   express: every "X" event's interval must nest inside (or equal) its
+   enclosing event on the same ``(pid, tid)`` track, and with
+   ``--min-depth N`` the deepest "X" nesting chain must reach ``N``
+   levels (the CI smoke job requires facade → dispatch/run → engine
+   phase, i.e. depth 3).
+
+Usage::
+
+    python tools/validate_trace.py out.json [--min-depth 3]
+
+Exit status 0 on success, 1 with a report on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "trace_schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def _check(value, schema: dict, path: str, errors: list[str]) -> None:
+    """Interpret the subset of JSON Schema used by trace_schema.json."""
+    expected = schema.get("type")
+    if expected is not None:
+        py = _TYPES[expected]
+        ok = isinstance(value, py)
+        if expected in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str):
+        if len(value) < schema["minLength"]:
+            errors.append(f"{path}: shorter than minLength {schema['minLength']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                _check(value[name], sub, f"{path}.{name}", errors)
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: fewer than minItems {schema['minItems']}")
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for idx, item in enumerate(value):
+                _check(item, item_schema, f"{path}[{idx}]", errors)
+
+
+def _nesting_depth(events: list[dict]) -> int:
+    """Deepest containment chain among "X" events per ``(pid, tid)`` track.
+
+    Containment is interval containment: parent ``[ts, ts+dur]`` covers
+    child ``[ts, ts+dur]``.  Events are sorted by start ascending then
+    duration descending, and a stack of enclosing intervals tracks depth —
+    the classic way Chrome's own viewer reconstructs flame charts from
+    "X" events.
+    """
+    tracks: dict[tuple, list[tuple[float, float]]] = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        start = float(e.get("ts", 0))
+        end = start + float(e.get("dur", 0))
+        tracks.setdefault((e.get("pid"), e.get("tid")), []).append((start, end))
+    deepest = 0
+    for spans in tracks.values():
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        stack: list[tuple[float, float]] = []
+        for start, end in spans:
+            while stack and not (stack[-1][0] <= start and end <= stack[-1][1]):
+                stack.pop()
+            stack.append((start, end))
+            deepest = max(deepest, len(stack))
+    return deepest
+
+
+def _structural_errors(trace: dict) -> list[str]:
+    """Checks beyond the schema: track-local interval sanity."""
+    errors: list[str] = []
+    by_track: dict[tuple, list[dict]] = {}
+    for idx, e in enumerate(trace.get("traceEvents", ())):
+        if e.get("ph") == "X":
+            by_track.setdefault((e.get("pid"), e.get("tid")), []).append(e)
+    for key, events in by_track.items():
+        events.sort(key=lambda e: (e["ts"], -e.get("dur", 0)))
+        stack: list[dict] = []
+        for e in events:
+            start, end = e["ts"], e["ts"] + e.get("dur", 0)
+            while stack and stack[-1]["ts"] + stack[-1].get("dur", 0) <= start:
+                stack.pop()
+            if stack:
+                p_start = stack[-1]["ts"]
+                p_end = p_start + stack[-1].get("dur", 0)
+                if not (p_start <= start and end <= p_end + 1e-6):
+                    errors.append(
+                        f"track {key}: event {e['name']!r} [{start}, {end}] "
+                        f"overlaps but does not nest inside "
+                        f"{stack[-1]['name']!r} [{p_start}, {p_end}]"
+                    )
+            stack.append(e)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="trace-event .json to validate")
+    parser.add_argument(
+        "--min-depth",
+        type=int,
+        default=0,
+        help="require at least this many nested 'X' levels on some track",
+    )
+    args = parser.parse_args(argv)
+    try:
+        trace = json.loads(args.trace.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.trace}: {exc}")
+        return 1
+    schema = json.loads(SCHEMA_PATH.read_text())
+    errors: list[str] = []
+    _check(trace, schema, "$", errors)
+    if not errors:
+        errors.extend(_structural_errors(trace))
+    if errors:
+        print(f"{args.trace}: {len(errors)} schema/structure violation(s):")
+        for e in errors[:50]:
+            print(f"  {e}")
+        return 1
+    events = trace["traceEvents"]
+    depth = _nesting_depth(events)
+    n_spans = sum(1 for e in events if e.get("ph") == "X")
+    n_counters = sum(1 for e in events if e.get("ph") == "C")
+    if args.min_depth and depth < args.min_depth:
+        print(
+            f"{args.trace}: nesting depth {depth} < required {args.min_depth} "
+            f"({n_spans} span events)"
+        )
+        return 1
+    print(
+        f"{args.trace}: valid trace — {n_spans} span event(s), "
+        f"{n_counters} counter(s), nesting depth {depth}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
