@@ -1,4 +1,12 @@
-"""The paper's algorithms: MSM greedy, SUU-I, chains, trees, forests."""
+"""The paper's algorithms: MSM greedy, SUU-I, chains, trees, forests.
+
+Every solver is registered in the capability-typed registry
+(:mod:`repro.algorithms.registry`); external code dispatches through
+:func:`solve`, :func:`resolve_solver` / :func:`iter_solvers`, or the
+:func:`run_portfolio` meta-runner rather than importing concrete solver
+functions (``tools/check_solver_callsites.py`` enforces this for
+first-party code).
+"""
 
 from .baselines import (
     all_baselines,
@@ -15,7 +23,18 @@ from .constants import LEAN, PAPER, PRACTICAL, SUUConstants
 from .independent import suu_i_adaptive, suu_i_lp, suu_i_oblivious
 from .layered import depth_layers, solve_layered
 from .msm import MSMExtendedResult, msm_alg, msm_e_alg, msm_mass_of_assignment
+from .online_greedy import greedy_assignment, online_greedy
 from .pipeline import solve
+from .portfolio import PortfolioEntry, PortfolioReport, run_portfolio
+from .registry import (
+    SOLVERS,
+    Solver,
+    describe_solvers,
+    iter_solvers,
+    register_solver,
+    resolve_solver,
+    solver_names,
+)
 from .replication import replicate_with_tail, serial_tail
 from .trees import solve_forest, solve_tree
 
@@ -38,6 +57,18 @@ __all__ = [
     "solve_forest",
     "solve_tree",
     "solve",
+    "Solver",
+    "SOLVERS",
+    "register_solver",
+    "resolve_solver",
+    "iter_solvers",
+    "solver_names",
+    "describe_solvers",
+    "PortfolioEntry",
+    "PortfolioReport",
+    "run_portfolio",
+    "online_greedy",
+    "greedy_assignment",
     "replicate_with_tail",
     "serial_tail",
     "all_baselines",

@@ -1,39 +1,37 @@
-"""The front-door ``solve()``: dispatch on the precedence class.
+"""The front-door ``solve()``: a strongest-applicable registry query.
 
-Picks the strongest applicable algorithm from the paper:
+Dispatch is driven entirely by the capability-typed solver registry
+(:mod:`repro.algorithms.registry`): among the registered solvers whose
+declared ``dag_classes`` admit the instance, the one with the smallest
+``auto_rank`` wins.  The built-in ranks reproduce the paper's
+strongest-applicable order exactly — independent → :func:`~.independent.
+suu_i_lp`, chains → :func:`~.chains.solve_chains`, in-/out-forest →
+:func:`~.trees.solve_tree`, mixed forest → :func:`~.trees.solve_forest` —
+and the general-DAG depth-layered extension is marked ``fallback``, so it
+only enters the query with ``allow_fallback=True``.
 
-========================  =====================================  =========
-DAG class                 algorithm                              guarantee
-========================  =====================================  =========
-independent               :func:`~.independent.suu_i_lp`         O(log n log min(n,m))
-disjoint chains           :func:`~.chains.solve_chains`          O(log m log n log(n+m)/loglog)
-in-/out-forest            :func:`~.trees.solve_tree`             O(log m log² n)
-mixed forest              :func:`~.trees.solve_forest`           O(log m log² n log(n+m)/loglog)
-general                   :func:`~.layered.solve_layered`        O(depth · log n · log min(n,m))
-========================  =====================================  =========
+The per-solver capability and guarantee table lives in the registry
+(``suu algorithms list`` renders it;
+:func:`~.registry.describe_solvers` returns the rows), so there is no
+hand-maintained copy here to drift.
 
-General DAGs are outside the paper's classes (§5 open problem); the
-layered extension handles them with a depth-dependent guarantee when
-``allow_fallback=True`` (or ``method="layered"``), otherwise
-:class:`UnsupportedDagError` is raised so callers notice they left the
-paper's territory.
+General DAGs are outside the paper's classes (§5 open problem); without
+the fallback the query comes up empty and :class:`UnsupportedDagError`
+is raised so callers notice they left the paper's territory.
 """
 
 from __future__ import annotations
 
-from ..core.dag import DagClass
 from ..core.instance import SUUInstance
 from ..core.schedule import ScheduleResult
 from ..errors import UnsupportedDagError
-from .baselines import serial_baseline
-from .chains import solve_chains
 from .constants import PRACTICAL, SUUConstants
-from .independent import suu_i_adaptive, suu_i_lp, suu_i_oblivious
-from .layered import solve_layered
-from .trees import solve_forest, solve_tree
+from .registry import SOLVERS, resolve_solver
 
 __all__ = ["solve"]
 
+#: ``method=`` names accepted by :func:`solve`.  Every non-auto method is
+#: a registry solver name; ``auto`` runs the strongest-applicable query.
 _METHODS = {
     "auto",
     "adaptive",
@@ -65,37 +63,28 @@ def solve(
     * ``"layered"`` — the general-DAG depth-layer extension;
     * ``"serial"`` — the always-correct serial baseline;
     * ``"auto"`` — dispatch on the DAG class (default).
+
+    A forced method runs its solver unconditionally — capability
+    violations surface as the solver's own error, with its own wording.
     """
     if method not in _METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {sorted(_METHODS)}")
-    if method == "adaptive":
-        return suu_i_adaptive(instance)
-    if method == "oblivious":
-        return suu_i_oblivious(instance, constants)
-    if method == "lp":
-        return suu_i_lp(instance, constants)
-    if method == "chains":
-        return solve_chains(instance, constants, rng)
-    if method == "tree":
-        return solve_tree(instance, constants, rng)
-    if method == "forest":
-        return solve_forest(instance, constants, rng)
-    if method == "layered":
-        return solve_layered(instance, constants, rng)
-    if method == "serial":
-        return serial_baseline(instance)
+    if method != "auto":
+        return resolve_solver(method).build(instance, constants=constants, rng=rng)
 
     cls = instance.classify()
-    if cls == DagClass.INDEPENDENT:
-        return suu_i_lp(instance, constants)
-    if cls == DagClass.CHAINS:
-        return solve_chains(instance, constants, rng)
-    if cls in (DagClass.OUT_FOREST, DagClass.IN_FOREST):
-        return solve_tree(instance, constants, rng)
-    if cls == DagClass.MIXED_FOREST:
-        return solve_forest(instance, constants, rng)
-    if allow_fallback:
-        return solve_layered(instance, constants, rng)
+    ranked = sorted(
+        (
+            s
+            for s in SOLVERS.values()
+            if s.auto_rank is not None
+            and cls in s.dag_classes
+            and (allow_fallback or not s.fallback)
+        ),
+        key=lambda s: s.auto_rank,
+    )
+    if ranked:
+        return ranked[0].build(instance, constants=constants, rng=rng)
     raise UnsupportedDagError(
         "general precedence DAGs are outside the paper's algorithm classes "
         "(§5 lists them as an open problem); pass allow_fallback=True for "

@@ -5,6 +5,10 @@ Subcommands
 ``generate``         write a random instance to JSON
 ``info``             structural summary of an instance file
 ``solve``            schedule an instance, print certificates, optionally save
+``algorithms``       introspect the capability-typed solver registry
+                     (``algorithms list`` renders the capability table)
+``portfolio``        race every capability-admitting solver on one instance
+                     and print the provenance-carrying leaderboard
 ``evaluate``         the one evaluation front door (repro.evaluate): exact or
                      MC, auto-dispatched, with engine provenance
 ``simulate``         legacy alias: Monte-Carlo estimate + baselines table
@@ -29,7 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from . import __version__
-from .algorithms import LEAN, PAPER, PRACTICAL, all_baselines, solve
+from .algorithms import LEAN, PAPER, PRACTICAL, resolve_solver, solve
 from .analysis import Table, compare_algorithms
 from .bounds import lower_bounds
 from .core import SUUInstance
@@ -89,6 +93,51 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--constants", default="practical", choices=sorted(_PRESETS))
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--save", type=Path, help="write the schedule JSON here")
+
+    al = sub.add_parser(
+        "algorithms",
+        help="introspect the capability-typed solver registry",
+    )
+    al_sub = al.add_subparsers(dest="algorithms_command", required=True)
+    al_sub.add_parser(
+        "list",
+        help="render the registry capability table (name, DAG classes, "
+        "adaptivity, guarantee, source paper)",
+    )
+
+    po = sub.add_parser(
+        "portfolio",
+        help="race every capability-admitting solver on one instance and "
+        "print the leaderboard (winner first, full engine provenance)",
+    )
+    po.add_argument(
+        "input",
+        help="instance .json path, or a built-in scenario name "
+        "(grid / project / greedy_trap)",
+    )
+    po.add_argument(
+        "--solver",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the field to these registry solvers (repeatable; "
+        "default: every capability-admitting solver)",
+    )
+    po.add_argument("--constants", default="practical", choices=sorted(_PRESETS))
+    po.add_argument("--reps", type=int, default=200)
+    po.add_argument("--seed", type=int, default=0)
+    po.add_argument("--max-steps", type=int, default=200_000)
+    po.add_argument(
+        "--mode",
+        default="auto",
+        choices=["auto", "exact", "mc"],
+        help="evaluation mode shared by every member (auto picks exact "
+        "when the state guard admits it)",
+    )
+    po.add_argument("--workers", type=int, default=None)
+    po.add_argument("--executor", default=None, choices=["serial", "process"])
+    po.add_argument("--shards", type=int, default=None)
+    po.add_argument("--json", type=Path, help="also write the leaderboard JSON here")
 
     ev = sub.add_parser(
         "evaluate",
@@ -340,12 +389,115 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_algorithms(args) -> int:
+    from .algorithms import describe_solvers
+
+    table = Table(
+        ["solver", "DAG classes", "adaptivity", "cost", "guarantee", "paper"],
+        title="solver registry",
+    )
+    for row in describe_solvers():
+        table.add_row(
+            [
+                row["name"],
+                row["dag_classes"],
+                row["adaptivity"],
+                row["cost"],
+                row["guarantee"],
+                row["paper"],
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_portfolio(args) -> int:
+    from .algorithms import run_portfolio
+    from .errors import ReproError
+    from .workloads import greedy_trap
+
+    name = str(args.input)
+    if name in ("grid", "project", "greedy_trap"):
+        rng = np.random.default_rng(args.seed)
+        if name == "grid":
+            inst = grid_computing(rng=rng)
+        elif name == "project":
+            inst = project_management(rng=rng)
+        else:
+            inst = greedy_trap(12, 4)
+    else:
+        inst = _load_instance(Path(name))
+    try:
+        report = run_portfolio(
+            inst,
+            solvers=args.solver,
+            constants=_PRESETS[args.constants],
+            seed=args.seed,
+            reps=args.reps,
+            max_steps=args.max_steps,
+            mode=args.mode,
+            workers=args.workers,
+            executor=args.executor,
+            shards=args.shards,
+        )
+    except ReproError as exc:
+        print(f"portfolio failed: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"instance : {report.instance_name} "
+        f"(n={report.n}, m={report.m}, dag={report.dag_class})"
+    )
+    table = Table(
+        ["#", "solver", "E[makespan]", "±se", "exact", "mode", "engine", "guarantee"],
+        title="portfolio leaderboard",
+    )
+    for rank, entry in enumerate(report.entries, start=1):
+        table.add_row(
+            [
+                rank,
+                entry.solver,
+                entry.makespan,
+                entry.report.std_err,
+                "yes" if entry.report.exact else "no",
+                entry.report.mode,
+                entry.report.engine,
+                entry.guarantee,
+            ]
+        )
+    print(table.render())
+    if report.winner is not None:
+        print(f"winner   : {report.winner.solver} ({report.winner.guarantee})")
+    for solver, reason in report.skipped:
+        print(f"skipped  : {solver} — {reason}")
+    if args.json:
+        args.json.write_text(report.to_json(indent=2))
+        print(f"leaderboard written to {args.json}")
+    return 0 if report.entries else 1
+
+
+#: ``simulate --baselines`` / ``demo`` comparator set: display label →
+#: registry solver name (the historical ``all_baselines`` table).
+_BASELINE_SOLVERS = {
+    "serial": "serial",
+    "round_robin": "round_robin",
+    "greedy": "greedy",
+    "random": "random_policy",
+}
+
+
+def _baseline_results(inst):
+    return {
+        label: resolve_solver(name).build(inst)
+        for label, name in _BASELINE_SOLVERS.items()
+    }
+
+
 def _cmd_simulate(args) -> int:
     inst = _load_instance(args.input)
     rng = np.random.default_rng(args.seed)
     results = {args.method: solve(inst, constants=_PRESETS[args.constants], rng=rng, method=args.method)}
     if args.baselines:
-        results.update(all_baselines(inst))
+        results.update(_baseline_results(inst))
     records = compare_algorithms(
         inst, results, reps=args.reps, rng=rng, max_steps=args.max_steps
     )
@@ -529,7 +681,7 @@ def _cmd_demo(args) -> int:
         inst = random_instance(16, 6, rng=rng)
     print(f"scenario: {inst!r}")
     results = {"paper_algorithm": solve(inst, rng=rng)}
-    results.update(all_baselines(inst))
+    results.update(_baseline_results(inst))
     records = compare_algorithms(inst, results, reps=args.reps, rng=rng)
     table = Table(
         ["algorithm", "E[makespan]", "±se", "reference", "kind", "ratio"],
@@ -674,6 +826,8 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "solve": _cmd_solve,
+        "algorithms": _cmd_algorithms,
+        "portfolio": _cmd_portfolio,
         "evaluate": _cmd_evaluate,
         "simulate": _cmd_simulate,
         "exact": _cmd_exact,

@@ -46,7 +46,12 @@ def evaluate(
     ``seed=``, ``workers=``, ...; see the request class for the full
     list).  ``schedule`` may be any schedule kind — cyclic, finite
     oblivious, regimen, adaptive policy — or a
-    :class:`~repro.core.schedule.ScheduleResult`, which is unwrapped.
+    :class:`~repro.core.schedule.ScheduleResult` (unwrapped), or a solver
+    *name* from the capability-typed registry
+    (:mod:`repro.algorithms.registry`): ``evaluate(inst, "serial")``
+    schedules with that solver first (default constants, deterministic
+    rng derived from the request seed — the experiment runner's solver
+    stream) and then judges the result.
 
     Routing (``mode="auto"``): exact sparse Markov when the schedule has
     a finite chain within the ``max_states`` guard, batched/lockstep
@@ -78,6 +83,16 @@ def evaluate(
                     "pass either a pre-built EvaluationRequest or keyword "
                     f"arguments, not both (got request= plus {sorted(kwargs)})"
                 )
+            if isinstance(schedule, str):
+                # Solver-name sugar: schedule through the registry with a
+                # deterministic solver stream (the experiment runner's
+                # derivation), decoupled from the simulation stream.
+                from ..algorithms.registry import resolve_solver
+
+                base = request.seed if isinstance(request.seed, int) else 0
+                schedule = resolve_solver(schedule).build(
+                    instance, rng=np.random.default_rng((base, 0xA16))
+                ).schedule
             if hasattr(schedule, "validate_against"):  # oblivious / cyclic tables
                 schedule.validate_against(instance)
         with obs.span("evaluate.dispatch") as dspan:

@@ -23,23 +23,8 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..algorithms import (
-    LEAN,
-    PAPER,
-    PRACTICAL,
-    SUUConstants,
-    exact_baseline,
-    greedy_prob_policy,
-    msm_eligible_policy,
-    random_policy,
-    round_robin_baseline,
-    serial_baseline,
-    solve,
-    state_round_robin_regimen,
-    suu_i_adaptive,
-    suu_i_lp,
-    suu_i_oblivious,
-)
+from ..algorithms import LEAN, PAPER, PRACTICAL, SUUConstants, solve
+from ..algorithms.registry import SOLVERS, Solver
 from ..core.instance import SUUInstance
 from ..core.schedule import ScheduleResult
 from ..errors import ExperimentError
@@ -161,10 +146,19 @@ def _gen_diamond(rng, n=16, m=6, width=3, jitter=False, prob_model="uniform", **
 
 
 # ----------------------------------------------------------------------
-# Built-in algorithms
+# Built-in algorithms: re-exports of the solver-registry records.
+#
+# Every record in repro.algorithms.registry.SOLVERS is exposed under the
+# *same name*, so an algorithm name means one thing everywhere (pipeline
+# methods, specs, portfolio, fuzzer, CLI).  The adapter preserves the
+# historical experiment-algorithm contract exactly — ``fn(instance, rng,
+# **params)``, with a ``constants=`` preset keyword only for solvers that
+# declare the need — so existing spec hashes are unchanged (names and
+# params are all the hash sees; SPEC_VERSION stays at 3).
 # ----------------------------------------------------------------------
 @register_algorithm("solve")
 def _alg_solve(instance, rng, constants="practical", method="auto", allow_fallback=False):
+    """The auto-dispatching front door (strongest-applicable query)."""
     return solve(
         instance,
         constants=resolve_constants(constants),
@@ -174,52 +168,25 @@ def _alg_solve(instance, rng, constants="practical", method="auto", allow_fallba
     )
 
 
-@register_algorithm("adaptive")
-def _alg_adaptive(instance, rng):
-    return suu_i_adaptive(instance)
+def _solver_adapter(solver: Solver) -> Callable[..., ScheduleResult]:
+    """Wrap a registry record in the experiment-algorithm signature."""
+    if solver.needs_constants:
+
+        def run(instance, rng, constants="practical", **params):
+            return solver.build(
+                instance, constants=resolve_constants(constants), rng=rng, **params
+            )
+
+    else:
+
+        def run(instance, rng, **params):
+            return solver.build(instance, rng=rng, **params)
+
+    run.__name__ = f"_alg_{solver.name}"
+    run.__doc__ = f"{solver.guarantee} [{solver.paper}]"
+    return run
 
 
-@register_algorithm("oblivious")
-def _alg_oblivious(instance, rng, constants="practical"):
-    return suu_i_oblivious(instance, resolve_constants(constants))
-
-
-@register_algorithm("lp")
-def _alg_lp(instance, rng, constants="practical"):
-    return suu_i_lp(instance, resolve_constants(constants))
-
-
-@register_algorithm("serial")
-def _alg_serial(instance, rng):
-    return serial_baseline(instance)
-
-
-@register_algorithm("round_robin")
-def _alg_round_robin(instance, rng):
-    return round_robin_baseline(instance)
-
-
-@register_algorithm("greedy")
-def _alg_greedy(instance, rng):
-    return greedy_prob_policy(instance)
-
-
-@register_algorithm("random_policy")
-def _alg_random_policy(instance, rng):
-    return random_policy(instance)
-
-
-@register_algorithm("msm_eligible")
-def _alg_msm_eligible(instance, rng):
-    return msm_eligible_policy(instance)
-
-
-@register_algorithm("exact")
-def _alg_exact(instance, rng, max_states=1 << 14):
-    return exact_baseline(instance, max_states=max_states)
-
-
-@register_algorithm("state_round_robin")
-def _alg_state_round_robin(instance, rng, max_states=1 << 20):
-    """Eligible-set round-robin as an explicit regimen (exact-engine workload)."""
-    return state_round_robin_regimen(instance, max_states=max_states)
+for _name, _solver in sorted(SOLVERS.items()):
+    register_algorithm(_name)(_solver_adapter(_solver))
+del _name, _solver

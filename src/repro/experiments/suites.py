@@ -259,6 +259,48 @@ def _families() -> list[ExperimentSpec]:
 
 
 # ----------------------------------------------------------------------
+# Portfolio: every capability-admitting registry solver head-to-head on
+# the three scenario families (grid = out-forest, project = chains,
+# greedy_trap = independent), sized tiny for the CI portfolio-smoke job.
+# The member list is computed from the solver registry at build time, so
+# a newly registered solver joins the sweep automatically.
+# ----------------------------------------------------------------------
+#: (suite label, generator name, generator params, instance seed)
+PORTFOLIO_SCENARIOS: list[tuple[str, str, dict, int]] = [
+    ("grid", "grid", {"num_workflows": 2, "stages": 2, "fanout": 2, "machines": 3}, 21),
+    ("project", "project", {"workstreams": 2, "tasks_per_stream": 2, "workers": 3}, 22),
+    ("greedy_trap", "greedy_trap", {"n": 6, "m": 3}, 23),
+]
+
+
+@register_suite("portfolio")
+def _portfolio() -> list[ExperimentSpec]:
+    import numpy as np
+
+    from ..algorithms.registry import iter_solvers
+    from .registry import resolve_generator
+
+    specs = []
+    for label, generator, params, seed in PORTFOLIO_SCENARIOS:
+        instance = resolve_generator(generator)(np.random.default_rng(seed), **params)
+        for solver in iter_solvers(instance):
+            specs.append(
+                ExperimentSpec(
+                    name=f"portfolio-{label}-{solver.name}",
+                    generator=generator,
+                    generator_params=dict(params),
+                    instance_seed=seed,
+                    algorithm=solver.name,
+                    reps=40,
+                    max_steps=20_000,
+                    compute_reference=True,
+                    exact_limit=6,
+                )
+            )
+    return specs
+
+
+# ----------------------------------------------------------------------
 # Scenarios: the two paper-motivated applications, end to end.
 # ----------------------------------------------------------------------
 @register_suite("scenarios")

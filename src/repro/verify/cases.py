@@ -19,13 +19,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..algorithms.baselines import (
-    greedy_prob_policy,
-    msm_eligible_policy,
-    random_policy,
-    round_robin_baseline,
-    serial_baseline,
-)
+from ..algorithms.registry import ALL_CLASSES, SOLVERS, resolve_solver
 from ..core.instance import SUUInstance
 from ..errors import ValidationError
 from ..opt.malewicz import optimal_regimen
@@ -70,16 +64,36 @@ INSTANCE_FAMILIES: tuple[str, ...] = tuple(
     f"{dag}/{prob}" for dag in DAG_KINDS for prob in PROB_MODELS
 ) + SCENARIO_FAMILIES
 
-#: Schedule families and the engine paths they can exercise.
-#: "exact_regimen" is only applicable on small instances (the fuzzer and
+def _fuzzable_solver_names() -> tuple[str, ...]:
+    """Registry solvers cheap enough to fuzz on every drawn instance.
+
+    Capability query, not a hard-coded list: combinatorial (``cost ==
+    "cheap"``) solvers without size caps that accept every DAG class — a
+    newly registered solver meeting the bar is fuzzed automatically.  LP
+    and exponential solvers are excluded on cost grounds (the oracles
+    re-evaluate each case across several engines), and capped solvers
+    because the fuzzer draws instance sizes after the schedule family.
+    """
+    return tuple(
+        sorted(
+            name
+            for name, s in SOLVERS.items()
+            if s.cost == "cheap"
+            and s.max_jobs is None
+            and s.max_machines is None
+            and s.dag_classes == ALL_CLASSES
+        )
+    )
+
+
+#: Schedule families and the engine paths they can exercise: every
+#: fuzzable registry solver (drawn by capability, see above) plus two
+#: derived families — "finite_round_robin" (a truncated oblivious table,
+#: exercising the run-out-of-schedule paths) and "exact_regimen" (the
+#: Malewicz optimum, only applicable on small instances: the fuzzer and
 #: the shrinker gate it on ``CheckConfig.exact_opt_jobs``).
-SCHEDULE_FAMILIES = (
-    "serial",
-    "round_robin",
+SCHEDULE_FAMILIES = _fuzzable_solver_names() + (
     "finite_round_robin",
-    "greedy",
-    "msm_eligible",
-    "random_policy",
     "exact_regimen",
 )
 
@@ -205,25 +219,21 @@ def build_schedule(spec: CaseSpec, instance: SUUInstance):
     Returns the schedule object itself (not a :class:`ScheduleResult`):
     the oracles only need something executable.
     """
-    if spec.schedule == "serial":
-        return serial_baseline(instance).schedule
-    if spec.schedule == "round_robin":
-        return round_robin_baseline(instance).schedule
     if spec.schedule == "finite_round_robin":
         # A *finite* oblivious schedule (three round-robin periods): some
         # executions run out of schedule with jobs unfinished, exercising
         # the finite-horizon and truncation-accounting paths of every
         # engine differentially.
-        cyclic = round_robin_baseline(instance).schedule
+        cyclic = resolve_solver("round_robin").build(instance).schedule
         return cyclic.truncate(3 * max(1, instance.n))
-    if spec.schedule == "greedy":
-        return greedy_prob_policy(instance).schedule
-    if spec.schedule == "msm_eligible":
-        return msm_eligible_policy(instance).schedule
-    if spec.schedule == "random_policy":
-        return random_policy(instance).schedule
     if spec.schedule == "exact_regimen":
         return optimal_regimen(instance).regimen
+    if spec.schedule in SOLVERS:
+        # Determinism is load-bearing: solvers that consume randomness
+        # (none of the default fuzz pool, but corpus specs may name any
+        # registered solver) get a stream derived from the instance seed.
+        rng = np.random.default_rng((spec.instance_seed, 0xF0))
+        return resolve_solver(spec.schedule).build(instance, rng=rng).schedule
     raise ValidationError(f"unknown schedule family {spec.schedule!r}")
 
 

@@ -36,6 +36,12 @@ check                what must agree
 ``delays``           ``find_good_delays`` honours its congestion target and
                      reporting contract; delays preserve pseudo-schedule
                      load; flattening yields a feasible schedule
+``portfolio``        the portfolio meta-runner on every cheap capability-
+                     admitting solver: no member crashes, the leaderboard
+                     is sorted, every entry carries engine provenance and
+                     CI-or-exactness, the winner is within every member's
+                     upper confidence bound, and certified lower bounds
+                     don't exceed any member (z-gated sandwich)
 ===================  =======================================================
 
 Statistical gates use ``z = 5`` by default (per-check false-positive rate
@@ -102,6 +108,10 @@ class CheckConfig:
     exact_opt_machines: int = 3
     #: Brute-force MaxSumMass enumeration budget.
     msm_enumeration: int = 200_000
+    #: The portfolio oracle runs every cheap solver through the front
+    #: door, so it is gated a little tighter than the plain MC checks.
+    portfolio_jobs: int = 6
+    portfolio_machines: int = 3
     #: Shards used to exercise the parallel merge path (serial executor:
     #: the merged numbers are worker-count invariant by construction, so
     #: process pools would only add fork latency to every fuzz case).
@@ -880,6 +890,114 @@ def check_delays(ctx: CaseContext) -> list[Discrepancy]:
     return out
 
 
+def check_portfolio(ctx: CaseContext) -> list[Discrepancy]:
+    """Portfolio meta-runner invariants on tiny instances.
+
+    Runs every *cheap* capability-admitting registry solver head-to-head
+    through :func:`repro.algorithms.portfolio.run_portfolio` and checks
+    the structural contract (no member crashes on a valid instance, the
+    leaderboard is makespan-sorted, every entry carries engine provenance
+    and either exactness or a finite confidence interval) plus the
+    statistical sandwich: the winner must lie within every member's upper
+    confidence bound, and the certified lower bounds must not exceed any
+    member's makespan.  Censored entries are excluded from the sandwich —
+    their means are underestimates by construction.
+    """
+    from ..algorithms.portfolio import run_portfolio
+    from ..algorithms.registry import iter_solvers
+
+    spec, instance, cfg = ctx.spec, ctx.instance, ctx.cfg
+    if instance.n > cfg.portfolio_jobs or instance.m > cfg.portfolio_machines:
+        return []
+    solvers = [s.name for s in iter_solvers(instance) if s.cost == "cheap"]
+    if not solvers:
+        return []
+    report = run_portfolio(
+        instance,
+        solvers=solvers,
+        seed=spec.sim_seed,
+        reps=cfg.reps,
+        max_steps=ctx.max_steps,
+    )
+    out: list[Discrepancy] = []
+    # Every cheap solver supports every DAG class it was offered, so a
+    # skip here means a member crashed mid-solve — itself a finding.
+    for name, reason in report.skipped:
+        out.append(
+            Discrepancy(
+                "portfolio",
+                f"cheap solver {name!r} failed on a valid instance: {reason}",
+                {"solver": name},
+            )
+        )
+    makespans = [e.makespan for e in report.entries]
+    if makespans != sorted(makespans):
+        out.append(
+            Discrepancy(
+                "portfolio",
+                f"leaderboard is not makespan-sorted: {makespans}",
+            )
+        )
+    for e in report.entries:
+        if not e.report.engine or e.report.mode not in ("exact", "mc"):
+            out.append(
+                Discrepancy(
+                    "portfolio",
+                    f"entry {e.solver!r} lacks engine provenance "
+                    f"(mode={e.report.mode!r}, engine={e.report.engine!r})",
+                    {"solver": e.solver},
+                )
+            )
+        exactish = e.report.mode == "exact"
+        if not exactish and not (
+            e.report.n_reps > 0 and math.isfinite(e.report.std_err)
+        ):
+            out.append(
+                Discrepancy(
+                    "portfolio",
+                    f"MC entry {e.solver!r} carries no usable confidence "
+                    f"interval (n_reps={e.report.n_reps}, "
+                    f"std_err={e.report.std_err})",
+                    {"solver": e.solver},
+                )
+            )
+    trusted = [e for e in report.entries if not e.report.truncated]
+    if not trusted:
+        return out
+    lbs = lower_bounds(instance)
+    best = min(e.makespan for e in trusted)
+    for e in trusted:
+        upper = e.makespan + cfg.z * e.report.std_err + cfg.eps
+        if best > upper:
+            out.append(
+                Discrepancy(
+                    "portfolio",
+                    f"winner makespan {best:.6f} exceeds {e.solver!r}'s upper "
+                    f"confidence bound {upper:.6f}",
+                    {"winner": best, "solver": e.solver, "upper": upper},
+                )
+            )
+        if e.report.mode == "mc" and e.report.std_err == 0.0:
+            # Degenerate sample variance: every replication hit the same
+            # makespan, so the z-slack collapses to zero even though the
+            # true mean can sit strictly above the sample mean (e.g. a
+            # near-certain one-step job whose rare retries never showed
+            # up in `reps` draws).  The bound is uninformative here.
+            continue
+        slack = cfg.z * e.report.std_err + 1e-6 * max(1.0, lbs.best)
+        if lbs.best > e.makespan + slack:
+            out.append(
+                Discrepancy(
+                    "portfolio",
+                    f"certified lower bound {lbs.best:.6f} exceeds "
+                    f"{e.solver!r}'s makespan {e.makespan:.6f} (+{slack:.6f} "
+                    f"slack)",
+                    {"bounds": lbs.as_dict(), "solver": e.solver},
+                )
+            )
+    return out
+
+
 #: All oracles in execution order.
 _CHECKS = (
     check_engines,
@@ -890,6 +1008,7 @@ _CHECKS = (
     check_rounding,
     check_lpflow,
     check_delays,
+    check_portfolio,
 )
 
 

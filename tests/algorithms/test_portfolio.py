@@ -1,0 +1,133 @@
+"""Tests for the portfolio meta-runner."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.algorithms import run_portfolio
+from repro.algorithms.registry import iter_solvers
+from repro.workloads import grid_computing, project_management
+from repro.workloads.generators import greedy_trap
+
+
+@pytest.fixture
+def trap():
+    return greedy_trap(6, 3)
+
+
+@pytest.fixture
+def report(trap):
+    return run_portfolio(trap, reps=60, seed=1, max_steps=20_000)
+
+
+class TestLeaderboard:
+    def test_full_field_runs(self, trap, report):
+        assert len(report.entries) == len(iter_solvers(trap))
+        assert report.skipped == []
+        assert report.n == trap.n and report.m == trap.m
+        assert report.dag_class == "independent"
+
+    def test_sorted_by_makespan(self, report):
+        makespans = [e.makespan for e in report.entries]
+        assert makespans == sorted(makespans)
+        assert report.winner is report.entries[0]
+
+    def test_every_entry_carries_provenance(self, report):
+        for e in report.entries:
+            assert e.report.mode in ("exact", "mc")
+            assert e.report.engine
+            assert e.guarantee and e.paper and e.adaptivity
+            if e.report.mode == "mc":
+                assert e.report.n_reps > 0
+                lo, hi = e.report.ci95
+                assert lo <= e.makespan <= hi
+            else:
+                assert e.report.exact
+            assert e.solve_time_s >= 0.0 and e.eval_time_s >= 0.0
+
+    def test_winner_within_every_upper_ci_bound(self, report):
+        best = report.winner.makespan
+        for e in report.entries:
+            assert best <= e.makespan + 5 * e.report.std_err + 1e-9
+
+    def test_online_greedy_beats_serial(self, report):
+        og = report.entry("online_greedy")
+        serial = report.entry("serial")
+        assert og.makespan + 5 * og.report.std_err < serial.makespan
+
+    def test_deterministic(self, trap, report):
+        again = run_portfolio(trap, reps=60, seed=1, max_steps=20_000)
+        assert [e.solver for e in again.entries] == [e.solver for e in report.entries]
+        assert [e.makespan for e in again.entries] == [
+            e.makespan for e in report.entries
+        ]
+
+    def test_member_list_independence(self, trap, report):
+        # A member's schedule and judgment must not depend on who else is
+        # in the field (per-solver rng streams).
+        solo = run_portfolio(
+            trap, solvers=["online_greedy"], reps=60, seed=1, max_steps=20_000
+        )
+        assert solo.entry("online_greedy").makespan == report.entry(
+            "online_greedy"
+        ).makespan
+
+
+class TestFieldSelection:
+    def test_explicit_list_is_capability_filtered(self, trap):
+        rep = run_portfolio(
+            trap, solvers=["serial", "chains"], reps=30, seed=0, max_steps=5000
+        )
+        # greedy_trap is independent, which `chains` admits; both run.
+        assert {e.solver for e in rep.entries} == {"serial", "chains"}
+
+    def test_non_admitting_member_is_skipped_with_reason(self):
+        grid = grid_computing(
+            num_workflows=2, stages=2, fanout=2, machines=3,
+            rng=np.random.default_rng(21),
+        )
+        rep = run_portfolio(
+            grid, solvers=["serial", "lp"], reps=30, seed=0, max_steps=5000
+        )
+        assert [e.solver for e in rep.entries] == ["serial"]
+        assert len(rep.skipped) == 1
+        name, reason = rep.skipped[0]
+        assert name == "lp" and "capabilities exclude" in reason
+
+    def test_scenario_winners_sandwiched_by_lower_bounds(self):
+        from repro.bounds import lower_bounds
+
+        for inst in (
+            grid_computing(num_workflows=2, stages=2, fanout=2, machines=3,
+                           rng=np.random.default_rng(21)),
+            project_management(workstreams=2, tasks_per_stream=2, workers=3,
+                               rng=np.random.default_rng(22)),
+        ):
+            rep = run_portfolio(inst, reps=60, seed=3, max_steps=20_000)
+            assert rep.entries
+            lbs = lower_bounds(inst)
+            for e in rep.entries:
+                if not e.report.truncated:
+                    assert lbs.best <= e.makespan + 5 * e.report.std_err + 1e-6
+
+
+class TestObservability:
+    def test_counters(self, trap):
+        with obs.capture():
+            run_portfolio(trap, reps=20, seed=0, max_steps=5000)
+            counters = obs.counters()
+        assert counters["portfolio.solvers_run"] == len(iter_solvers(trap))
+        assert counters["portfolio.solvers_skipped"] == 0
+
+    def test_json_round_trip(self, report):
+        data = json.loads(report.to_json())
+        assert data["winner"] == report.winner.solver
+        assert len(data["leaderboard"]) == len(report.entries)
+        row = data["leaderboard"][0]
+        for key in ("solver", "makespan", "std_err", "ci95", "exact", "mode",
+                    "engine", "guarantee", "paper", "counters"):
+            assert key in row

@@ -200,3 +200,36 @@ class TestStateCost:
         assert select_route(tiny_independent, sched, req) == select_route(
             tiny_independent, sched, req
         )
+
+
+class TestSolverNameSugar:
+    """``evaluate(inst, "serial")`` schedules through the registry first."""
+
+    def test_name_matches_explicit_build(self, tiny_independent):
+        from repro.algorithms import resolve_solver
+        from repro.evaluate import evaluate
+
+        by_name = evaluate(tiny_independent, "serial", mode="exact")
+        explicit = evaluate(
+            tiny_independent,
+            resolve_solver("serial").build(tiny_independent).schedule,
+            mode="exact",
+        )
+        assert by_name.makespan == explicit.makespan
+        assert by_name.schedule_kind == explicit.schedule_kind
+
+    def test_rng_solver_is_deterministic_in_the_seed(self, tiny_independent):
+        from repro.evaluate import evaluate
+
+        a = evaluate(tiny_independent, "chains", mode="mc", reps=20, seed=3,
+                     keep_samples=True)
+        b = evaluate(tiny_independent, "chains", mode="mc", reps=20, seed=3,
+                     keep_samples=True)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_unknown_name_raises_registry_error(self, tiny_independent):
+        from repro.errors import ExperimentError
+        from repro.evaluate import evaluate
+
+        with pytest.raises(ExperimentError, match="unknown solver"):
+            evaluate(tiny_independent, "not_a_solver")

@@ -292,3 +292,64 @@ class TestTrace:
 
         assert main(["evaluate", str(instance_file)]) == 0
         assert not obs.enabled()
+
+
+class TestAlgorithmsList:
+    def test_golden_output(self, capsys):
+        # Golden check: one row per registered solver, rendered from the
+        # registry's describe_solvers() rows (name / DAG classes /
+        # adaptivity / cost / guarantee / paper).
+        from repro.algorithms import describe_solvers
+
+        assert main(["algorithms", "list"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0] == "== solver registry =="
+        rows = describe_solvers()
+        # title + header + separator + one line per solver
+        assert len(lines) == 3 + len(rows)
+        for row, line in zip(rows, lines[3:]):
+            assert row["name"] in line
+            assert row["adaptivity"] in line
+            assert row["guarantee"] in line
+        assert "O(log n log min(n,m)) x TOPT (Thm 4.5)" in out
+        assert "arXiv:1703.01634" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["algorithms"])
+
+
+class TestPortfolio:
+    def test_scenario_leaderboard(self, capsys):
+        assert main(
+            ["portfolio", "greedy_trap", "--reps", "40", "--seed", "1",
+             "--max-steps", "10000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "portfolio leaderboard" in out
+        assert "winner   :" in out
+        assert "online_greedy" in out and "serial" in out
+
+    def test_instance_file_with_json_export(self, tmp_path, capsys):
+        inst = tmp_path / "inst.json"
+        main(["generate", str(inst), "-n", "5", "-m", "2", "--seed", "3"])
+        report_path = tmp_path / "leaderboard.json"
+        assert main(
+            ["portfolio", str(inst), "--reps", "30", "--max-steps", "5000",
+             "--solver", "serial", "--solver", "round_robin",
+             "--json", str(report_path)]
+        ) == 0
+        data = json.loads(report_path.read_text())
+        assert {row["solver"] for row in data["leaderboard"]} == {
+            "serial", "round_robin"
+        }
+        assert data["winner"] in ("serial", "round_robin")
+        for row in data["leaderboard"]:
+            assert row["engine"] and row["mode"] in ("exact", "mc")
+
+    def test_unknown_solver_fails_cleanly(self, tmp_path, capsys):
+        inst = tmp_path / "inst.json"
+        main(["generate", str(inst), "-n", "4", "-m", "2"])
+        assert main(["portfolio", str(inst), "--solver", "nope"]) == 2
+        assert "unknown solver" in capsys.readouterr().err

@@ -1,0 +1,78 @@
+"""First-party code reaches solvers only through the registry.
+
+Satellite acceptance (CI / tooling): an AST check fails if a concrete
+solver function (``solve_chains``, ``serial_baseline``, ...) is called
+or imported anywhere inside ``src/`` outside the ``repro/algorithms/``
+package — dispatch goes through ``solve()`` / ``resolve_solver()`` /
+``run_portfolio()``.  The same checker runs as a CI lint step
+(``tools/check_solver_callsites.py``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    """Import tools/check_solver_callsites.py regardless of test order."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import check_solver_callsites
+
+        return check_solver_callsites
+    finally:
+        sys.path.remove(str(REPO / "tools"))
+
+
+class TestChecker:
+    def test_src_has_no_solver_callsites(self):
+        assert _load_checker().main() == 0
+
+    def test_checker_catches_a_planted_callsite(self, tmp_path):
+        # The checker must actually detect violations, not just pass.
+        checker = _load_checker()
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "from repro.algorithms.chains import solve_chains\n"
+            "def f(i):\n"
+            "    return solve_chains(i)\n"
+        )
+        violations = checker.check_file(bad, "bad.py")
+        assert len(violations) == 2  # the import and the call
+
+    def test_registry_name_strings_are_fine(self, tmp_path):
+        # Referring to a solver by its registry *name* is the sanctioned
+        # path and must not trip the checker.
+        checker = _load_checker()
+
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "from repro.algorithms import resolve_solver\n"
+            "def f(i):\n"
+            "    return resolve_solver('chains').build(i)\n"
+        )
+        assert checker.check_file(ok, "ok.py") == []
+
+    def test_banned_names_match_registry_targets(self):
+        # The banned set must cover every function the registry wraps —
+        # a newly registered solver whose function is not in the set
+        # would be silently importable.
+        from repro.algorithms.registry import SOLVERS
+
+        checker = _load_checker()
+        wrapped = {rec.fn.__name__ for rec in SOLVERS.values()}
+        missing = wrapped - checker.SOLVER_FUNCTIONS
+        assert not missing, f"registry solver functions not banned: {missing}"
+
+    def test_cli_entry_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_solver_callsites.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

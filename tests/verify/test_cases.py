@@ -124,3 +124,61 @@ class TestSampleCase:
         assert {s.schedule for s in specs} == set(SCHEDULE_FAMILIES)
         # Scenario families show up too, not just the random cross product.
         assert any(s.family in SCENARIO_FAMILIES for s in specs)
+
+
+class TestRegistryDrivenPool:
+    """Satellite acceptance: the fuzzer draws schedules from the solver
+    registry by capability, not from a hard-coded list."""
+
+    def test_pool_is_the_capability_query(self):
+        from repro.algorithms.registry import ALL_CLASSES, SOLVERS
+
+        expected = sorted(
+            name
+            for name, s in SOLVERS.items()
+            if s.cost == "cheap"
+            and s.max_jobs is None
+            and s.max_machines is None
+            and s.dag_classes == ALL_CLASSES
+        )
+        assert list(SCHEDULE_FAMILIES[:-2]) == expected
+        assert SCHEDULE_FAMILIES[-2:] == ("finite_round_robin", "exact_regimen")
+
+    def test_online_greedy_is_fuzzed(self):
+        assert "online_greedy" in SCHEDULE_FAMILIES
+
+    def test_any_registered_solver_name_builds(self):
+        # Corpus specs may name registry solvers outside the default
+        # pool; build_schedule routes them through the registry too.
+        spec = CaseSpec("independent/uniform", "lp", 4, 2, 3, 4)
+        _, sched = build_case(spec)
+        assert sched is not None
+
+    def test_unknown_family_still_rejected(self):
+        from repro.errors import ValidationError
+
+        spec = CaseSpec("independent/uniform", "not_a_solver", 3, 2, 1, 2)
+        with pytest.raises(ValidationError, match="unknown schedule family"):
+            build_case(spec)
+
+    def test_broken_solver_is_caught(self, monkeypatch):
+        # Kill-test: if a registered solver starts crashing, the fuzzer
+        # must report it as a build discrepancy, not silently skip it.
+        import dataclasses
+
+        from repro.algorithms.registry import SOLVERS
+        from repro.errors import ValidationError
+        from repro.verify.oracles import CheckConfig, check_case
+
+        def broken(instance, **kwargs):
+            raise ValidationError("deliberately broken solver")
+
+        monkeypatch.setitem(
+            SOLVERS, "greedy", dataclasses.replace(SOLVERS["greedy"], fn=broken)
+        )
+        spec = CaseSpec("independent/uniform", "greedy", 3, 2, 1, 2)
+        found = check_case(spec, CheckConfig(reps=10))
+        assert any(
+            d.check == "build" and "deliberately broken solver" in d.message
+            for d in found
+        )

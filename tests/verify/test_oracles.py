@@ -37,6 +37,7 @@ class TestHealthyCode:
             "rounding",
             "lpflow",
             "delays",
+            "portfolio",
         )
 
     def test_oblivious_case_passes(self):
