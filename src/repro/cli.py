@@ -17,6 +17,9 @@ Subcommands
 ``demo``             end-to-end demonstration on a built-in scenario
 ``run-experiments``  run a named experiment suite through the cached runner
 ``fuzz``             differential cross-engine verification (repro.verify)
+``lint``             static-analysis rule set over src/ (repro.lint):
+                     dispatch, timing, seed-discipline, warning, and
+                     pickling contracts in one parse pass per file
 ``trace``            summarize Chrome trace-event JSON from ``evaluate --trace``
 
 Every makespan number any subcommand prints flows through
@@ -324,6 +327,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink", action="store_true", help="skip minimization of failures"
     )
     f.add_argument("--quiet", action="store_true", help="suppress per-case progress")
+
+    li = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis rule set (dispatch, timing, "
+        "seed-discipline, warning, and pickling contracts) over src/",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(li)
 
     tr = sub.add_parser(
         "trace",
@@ -738,7 +750,7 @@ def _run_suites(names, args, cache_dir, executor) -> int:
             title=f"suite: {suite} ({len(specs)} experiments)",
         )
 
-        def stream(spec, res):
+        def stream(spec, res, suite=suite):
             status = "cache hit" if res.cache_hit else f"{res.elapsed_s:.2f}s"
             print(f"  [{suite}] {spec.name}: {status}", file=sys.stderr, flush=True)
 
@@ -808,6 +820,12 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_trace(args) -> int:
     from .obs import render_summary, summarize_trace
 
@@ -835,6 +853,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "run-experiments": _cmd_run_experiments,
         "fuzz": _cmd_fuzz,
+        "lint": _cmd_lint,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

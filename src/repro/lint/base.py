@@ -1,0 +1,98 @@
+"""The :class:`Rule` plugin protocol and the rule registry.
+
+A rule is a small class: an ``id``, a ``description``, optional per-file
+allowlisting (:meth:`Rule.exempt`), and ``visit_<NodeType>`` hooks named
+after :mod:`ast` node classes (``visit_Call``, ``visit_ImportFrom``, ...).
+The engine parses each file **once** and dispatches every AST node, in
+document order, to every registered rule that declared a hook for that
+node type — adding a rule never adds a parse or a tree walk.
+
+Rules register themselves with the :func:`register` decorator at import
+time; ``repro.lint.__init__`` imports the built-in rule modules so the
+default registry is always fully populated.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import FileContext
+
+__all__ = ["Rule", "register", "all_rule_ids", "build_rules", "rule_catalogue"]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` and :attr:`description`, then implement any
+    of the ``visit_<NodeType>`` hooks (signature ``(node, ctx)``) plus the
+    optional :meth:`start_file` / :meth:`finish_file` lifecycle hooks.
+    Rules are instantiated once per lint run and may keep per-file state,
+    provided :meth:`start_file` resets it.
+    """
+
+    #: Stable kebab-case identifier, used in output and suppression pragmas.
+    id: str = ""
+    #: One-line statement of the contract the rule guards.
+    description: str = ""
+
+    def exempt(self, rel: str) -> bool:
+        """True when ``rel`` (posix path relative to ``src/``) is allowlisted.
+
+        Exemption is structural — the module legitimately *defines* the
+        construct the rule bans — as opposed to a ``# lint: disable=``
+        pragma, which is a per-line judgement call at a call site.
+        """
+        return False
+
+    def start_file(self, ctx: "FileContext") -> None:
+        """Reset per-file state before the file's dispatch walk."""
+
+    def finish_file(self, ctx: "FileContext") -> None:
+        """Report findings that need the whole file seen (e.g. deferred
+        resolution against imports collected during the walk)."""
+
+
+#: id -> rule class, populated by the :func:`register` decorator.
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add ``cls`` to the rule registry, rejecting id clashes."""
+    if not cls.id:
+        raise ValidationError(f"rule class {cls.__name__} has no id")
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise ValidationError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rule_ids() -> list[str]:
+    """Every registered rule id, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_rules(ids: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the requested rules (default: the full registry).
+
+    Unknown ids raise :class:`ValidationError` listing the known set, so a
+    typo in ``--rule`` fails loudly instead of silently linting nothing.
+    """
+    wanted = all_rule_ids() if ids is None else list(ids)
+    unknown = sorted(set(wanted) - set(_REGISTRY))
+    if unknown:
+        raise ValidationError(
+            f"unknown rule id(s) {unknown}; known rules: {all_rule_ids()}"
+        )
+    return [_REGISTRY[rule_id]() for rule_id in sorted(set(wanted))]
+
+
+def rule_catalogue() -> list[dict]:
+    """``[{"id": ..., "description": ...}, ...]`` for ``--list-rules`` / docs."""
+    return [
+        {"id": rule_id, "description": _REGISTRY[rule_id].description}
+        for rule_id in all_rule_ids()
+    ]

@@ -1,0 +1,176 @@
+"""Determinism-contract rules: replayability survives refactors.
+
+Both rules are new in this PR — neither contract had a guard before.
+
+``seed-discipline`` protects the property every reproduction guarantee
+rests on: the paper's randomized adaptive policies, bitwise worker-count
+invariance of sharded Monte Carlo merges (PR 2), and the fuzzer's
+replayable corpus (PR 3) all hold only because every random draw flows
+through an explicitly threaded, ``SeedSequence``-derived
+``np.random.Generator``.  One global-state draw anywhere in ``src/``
+breaks all three silently.
+
+``fork-safe-task`` protects the executor task protocol (PR 2): payload
+functions cross a pickle boundary under the process executor, and
+lambdas / locally-defined functions pickle by reference — they import
+fine under ``fork`` but crash on ``spawn`` platforms, exactly where CI
+doesn't run.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, register
+
+__all__ = ["SeedDisciplineRule", "ForkSafeTaskRule"]
+
+#: The explicit-Generator surface of ``np.random`` — everything else on
+#: the module is either global state (``seed``, draw functions) or the
+#: legacy ``RandomState`` world.
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class SeedDisciplineRule(Rule):
+    """All randomness threads an explicit ``Generator`` / ``SeedSequence``.
+
+    Bans, inside ``src/``:
+
+    * ``np.random.seed(...)`` — mutates hidden global state;
+    * module-level ``np.random.*`` draws (``np.random.uniform`` etc.) —
+      consume hidden global state, so results depend on call order;
+    * ``import random`` / ``from random import ...`` — the stdlib global
+      RNG, unseedable per-stream and invisible to ``SeedSequence`` spawning.
+
+    ``np.random.default_rng`` / ``Generator`` / ``SeedSequence`` and the
+    bit generators are the sanctioned surface.
+    """
+
+    id = "seed-discipline"
+    description = (
+        "no np.random.seed, module-level np.random.* draws, or stdlib "
+        "random in src/; thread an explicit Generator / SeedSequence"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            attr = parts[2]
+            if attr == "seed":
+                ctx.report(
+                    self,
+                    node,
+                    "np.random.seed() mutates hidden global RNG state — "
+                    "thread an explicit np.random.Generator / SeedSequence",
+                )
+            elif attr not in ALLOWED_NP_RANDOM:
+                ctx.report(
+                    self,
+                    node,
+                    f"module-level np.random.{attr}() draws from hidden "
+                    "global state — draw from an explicitly threaded "
+                    "Generator instead",
+                )
+
+    def visit_Import(self, node: ast.Import, ctx) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                ctx.report(
+                    self,
+                    node,
+                    "stdlib random is a hidden global RNG — use a threaded "
+                    "np.random.Generator (SeedSequence-derived) instead",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx) -> None:
+        if node.module == "random":
+            ctx.report(
+                self,
+                node,
+                "stdlib random is a hidden global RNG — use a threaded "
+                "np.random.Generator (SeedSequence-derived) instead",
+            )
+
+
+#: Methods of the executor task protocol whose first argument crosses the
+#: pickle boundary (Executor.map_tasks; ProcessPoolExecutor.submit).
+TASK_SUBMISSION_METHODS = frozenset({"map_tasks", "submit"})
+
+
+@register
+class ForkSafeTaskRule(Rule):
+    """Executor task functions must survive the pickle boundary.
+
+    Flags a lambda or a locally-defined (nested) function passed as the
+    task function to ``*.map_tasks(fn, ...)`` or ``*.submit(fn, ...)``.
+    Both pickle by reference, so they work under the ``fork`` start
+    method and crash under ``spawn`` — task functions belong at module
+    level (see ``repro/parallel/worker.py``).  Progress callbacks are not
+    checked: they stay in the parent process.
+    """
+
+    id = "fork-safe-task"
+    description = (
+        "no lambdas or locally-defined functions as executor task payloads "
+        "(map_tasks / submit); they break pickling on spawn backends"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr in TASK_SUBMISSION_METHODS
+        ):
+            return
+        task_fn = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "fn":
+                task_fn = kw.value
+        if task_fn is None:
+            return
+        method = func.attr
+        if isinstance(task_fn, ast.Lambda):
+            ctx.report(
+                self,
+                node,
+                f"lambda submitted through {method}() — lambdas don't "
+                "pickle on spawn backends; use a module-level function",
+            )
+        elif (
+            isinstance(task_fn, ast.Name)
+            and task_fn.id in ctx.local_function_names
+        ):
+            ctx.report(
+                self,
+                node,
+                f"locally-defined function {task_fn.id!r} submitted through "
+                f"{method}() — nested functions don't pickle on spawn "
+                "backends; define the task at module level",
+            )

@@ -1,0 +1,89 @@
+"""Inline suppression pragmas: ``# lint: disable=<rule-id>[,<rule-id>...]``.
+
+A pragma on a physical line suppresses findings of the named rules *on
+that line only* — suppression is a per-call-site judgement, never a
+file-wide switch (structural allowlists live on the rules themselves).
+Every pragma must pay rent: one that suppresses nothing in a run of the
+rules it names is itself reported as an ``unused-suppression`` finding,
+and a pragma naming an id the registry has never heard of is reported
+immediately.  Unused-suppression findings are not suppressible.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+
+__all__ = ["SuppressionIndex", "UNUSED_SUPPRESSION_ID", "PRAGMA_RE"]
+
+#: Pseudo rule id under which pragma-hygiene findings are reported.
+UNUSED_SUPPRESSION_ID = "unused-suppression"
+
+PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+class SuppressionIndex:
+    """Per-file map of suppression pragmas with used/unused accounting."""
+
+    def __init__(self, source: str):
+        #: (line, rule_id) -> consumed flag
+        self._pragmas: dict[tuple[int, str], bool] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            for rule_id in match.group(1).split(","):
+                rule_id = rule_id.strip()
+                if rule_id:
+                    self._pragmas[(lineno, rule_id)] = False
+
+    def __len__(self) -> int:
+        return len(self._pragmas)
+
+    def rule_ids(self) -> set[str]:
+        """Every rule id any pragma in this file names."""
+        return {rule_id for _, rule_id in self._pragmas}
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        """True (and marks the pragma used) when ``rule_id`` is disabled on ``line``."""
+        if (line, rule_id) in self._pragmas:
+            self._pragmas[(line, rule_id)] = True
+            return True
+        return False
+
+    def hygiene_findings(
+        self, rel: str, active_ids: set[str], known_ids: set[str]
+    ) -> list[Finding]:
+        """Unused / unknown pragma findings for this file.
+
+        * an id not in ``known_ids`` is a typo — reported always;
+        * an id in ``known_ids`` but outside ``active_ids`` is skipped (a
+          ``--rule``-restricted run cannot judge pragmas for rules it did
+          not execute);
+        * an active id whose pragma suppressed nothing is unused.
+        """
+        findings = []
+        for (line, rule_id), used in sorted(self._pragmas.items()):
+            if rule_id not in known_ids:
+                findings.append(
+                    Finding(
+                        rel,
+                        line,
+                        0,
+                        UNUSED_SUPPRESSION_ID,
+                        f"suppression names unknown rule id {rule_id!r}",
+                    )
+                )
+            elif rule_id in active_ids and not used:
+                findings.append(
+                    Finding(
+                        rel,
+                        line,
+                        0,
+                        UNUSED_SUPPRESSION_ID,
+                        f"suppression of {rule_id!r} matches no finding on this "
+                        "line — remove the stale pragma",
+                    )
+                )
+        return findings

@@ -1,0 +1,74 @@
+"""The ``suu lint`` CLI surface: exit codes, --rule, --list-rules, --json."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import all_rule_ids
+
+from .test_rules import KILL_TESTS
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    @pytest.mark.parametrize("rule_id", sorted(KILL_TESTS))
+    def test_injected_violation_exits_nonzero(self, rule_id, tmp_path, capsys):
+        snippet, expected, _, _ = KILL_TESTS[rule_id]
+        bad = tmp_path / "bad.py"
+        bad.write_text(snippet)
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"{expected} finding(s)" in out
+        assert rule_id in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rule", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestRuleSelection:
+    def test_rule_filter_restricts_the_run(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        # violates seed-discipline and bare-timer
+        bad.write_text("import random\nimport time\nt = time.monotonic()\n")
+        assert main(["lint", "--rule", "seed-discipline", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "seed-discipline" in out
+        assert "bare-timer" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in all_rule_ids():
+            assert rule_id in out
+
+
+class TestJsonOutput:
+    def test_json_file_export(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        out_path = tmp_path / "findings.json"
+        assert main(["lint", "--json", str(out_path), str(bad)]) == 1
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is False
+        assert data["files_scanned"] == 1
+        assert sorted(data["rules"]) == sorted(all_rule_ids())
+        (finding,) = data["findings"]
+        assert finding["rule_id"] == "seed-discipline"
+        assert finding["line"] == 1
+        assert finding["path"].endswith("bad.py")
+
+    def test_json_to_stdout(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main(["lint", "--json", "-", str(good)]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{") : out.rindex("}") + 1]
+        assert json.loads(payload)["ok"] is True

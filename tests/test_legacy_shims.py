@@ -1,16 +1,13 @@
-"""Legacy entry points are warning shims, and src/ never calls them.
+"""Legacy entry points are warning shims that delegate faithfully.
 
-Satellite acceptance (CI / tooling): a deprecation-shim check fails if a
-legacy entry point is called anywhere inside ``src/`` — shims exist for
-external callers only.  The same checker runs as a CI job
-(``tools/check_legacy_callsites.py``).
+The no-first-party-callsite contract itself is enforced by the
+``legacy-callsite`` rule of the static-analysis framework — see
+``tests/lint/`` for the consolidated checker tests; this module keeps
+the *runtime* shim behavior (warn once, delegate, attribute to the
+caller) locked in.
 """
 
 from __future__ import annotations
-
-import subprocess
-import sys
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -18,50 +15,11 @@ import pytest
 from repro import SUUInstance
 from repro.algorithms.baselines import round_robin_baseline
 
-REPO = Path(__file__).resolve().parent.parent
-
-
-def _load_checker():
-    """Import tools/check_legacy_callsites.py regardless of test order."""
-    sys.path.insert(0, str(REPO / "tools"))
-    try:
-        import check_legacy_callsites
-
-        return check_legacy_callsites
-    finally:
-        sys.path.remove(str(REPO / "tools"))
-
 
 @pytest.fixture
 def inst():
     rng = np.random.default_rng(5)
     return SUUInstance(rng.uniform(0.3, 0.9, size=(2, 4)))
-
-
-class TestChecker:
-    def test_src_has_no_legacy_callsites(self):
-        assert _load_checker().main() == 0
-
-    def test_checker_catches_a_planted_callsite(self, tmp_path):
-        # The checker must actually detect violations, not just pass.
-        checker = _load_checker()
-
-        bad = tmp_path / "bad.py"
-        bad.write_text(
-            "from repro.sim import estimate_makespan\n"
-            "def f(i, s):\n"
-            "    return estimate_makespan(i, s)\n"
-        )
-        violations = checker.check_file(bad, "bad.py")
-        assert len(violations) == 2  # the import and the call
-
-    def test_cli_entry_runs(self):
-        proc = subprocess.run(
-            [sys.executable, str(REPO / "tools" / "check_legacy_callsites.py")],
-            capture_output=True,
-            text=True,
-        )
-        assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 class TestShimsWarnAndDelegate:

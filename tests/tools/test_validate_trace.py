@@ -1,0 +1,145 @@
+"""Tier-1 coverage for ``tools/validate_trace.py``.
+
+The trace validator previously ran only in the CI trace-smoke job, so a
+regression in its ``--min-depth`` or schema-checking paths would surface
+a full CI round later, on an unrelated PR.  These tests pin both paths
+(plus the structural nesting check) locally.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_validator():
+    """Import tools/validate_trace.py regardless of test order."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        import validate_trace
+
+        return validate_trace
+    finally:
+        sys.path.remove(str(REPO / "tools"))
+
+
+def _event(name, ts, dur, ph="X", pid=1, tid=1, **extra):
+    return {"name": name, "ph": ph, "ts": ts, "dur": dur, "pid": pid, "tid": tid, **extra}
+
+
+@pytest.fixture
+def nested_trace():
+    """A depth-3 trace: facade [0,100] > run [10,90] > engine [20,50]."""
+    return {
+        "traceEvents": [
+            _event("facade", 0, 100),
+            _event("run", 10, 80),
+            _event("engine", 20, 30),
+            {"name": "reps", "ph": "C", "ts": 25, "pid": 1, "tid": 1, "args": {"reps": 8}},
+        ]
+    }
+
+
+def _write(tmp_path, payload) -> str:
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestValidPath:
+    def test_valid_trace_passes(self, tmp_path, nested_trace, capsys):
+        validator = _load_validator()
+        assert validator.main([_write(tmp_path, nested_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "valid trace" in out
+        assert "nesting depth 3" in out
+
+    def test_min_depth_met(self, tmp_path, nested_trace):
+        validator = _load_validator()
+        assert validator.main([_write(tmp_path, nested_trace), "--min-depth", "3"]) == 0
+
+
+class TestMinDepthPath:
+    def test_min_depth_violation_fails(self, tmp_path, nested_trace, capsys):
+        validator = _load_validator()
+        assert validator.main([_write(tmp_path, nested_trace), "--min-depth", "4"]) == 1
+        assert "nesting depth 3 < required 4" in capsys.readouterr().out
+
+    def test_depth_is_per_track(self, tmp_path, capsys):
+        # Two depth-1 spans on different (pid, tid) tracks never stack.
+        validator = _load_validator()
+        trace = {
+            "traceEvents": [
+                _event("a", 0, 100, tid=1),
+                _event("b", 10, 50, tid=2),
+            ]
+        }
+        assert validator.main([_write(tmp_path, trace), "--min-depth", "2"]) == 1
+        assert "depth 1" in capsys.readouterr().out
+
+
+class TestSchemaViolationPath:
+    def test_missing_required_key_fails(self, tmp_path, nested_trace, capsys):
+        validator = _load_validator()
+        del nested_trace["traceEvents"][0]["ph"]
+        assert validator.main([_write(tmp_path, nested_trace)]) == 1
+        assert "missing required key 'ph'" in capsys.readouterr().out
+
+    def test_bad_phase_enum_fails(self, tmp_path, nested_trace, capsys):
+        validator = _load_validator()
+        nested_trace["traceEvents"][0]["ph"] = "B"  # emitter never writes B/E
+        assert validator.main([_write(tmp_path, nested_trace)]) == 1
+        assert "not in" in capsys.readouterr().out
+
+    def test_empty_event_list_fails(self, tmp_path, capsys):
+        validator = _load_validator()
+        assert validator.main([_write(tmp_path, {"traceEvents": []})]) == 1
+        assert "minItems" in capsys.readouterr().out
+
+    def test_negative_duration_fails(self, tmp_path, nested_trace):
+        validator = _load_validator()
+        nested_trace["traceEvents"][2]["dur"] = -1
+        assert validator.main([_write(tmp_path, nested_trace)]) == 1
+
+    def test_unreadable_file_fails(self, tmp_path, capsys):
+        validator = _load_validator()
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        assert validator.main([str(path)]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+
+class TestStructuralPath:
+    def test_overlapping_non_nesting_spans_fail(self, tmp_path, capsys):
+        # [0, 100] and [50, 150] overlap without containment — the span
+        # emitter can never produce this, so the validator must object.
+        validator = _load_validator()
+        trace = {
+            "traceEvents": [
+                _event("a", 0, 100),
+                _event("b", 50, 100),
+            ]
+        }
+        assert validator.main([_write(tmp_path, trace)]) == 1
+        assert "does not nest" in capsys.readouterr().out
+
+    def test_cli_entry_runs(self, tmp_path, nested_trace):
+        import subprocess
+
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "validate_trace.py"),
+                _write(tmp_path, nested_trace),
+                "--min-depth",
+                "3",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,95 +1,50 @@
 #!/usr/bin/env python
 """Fail when first-party code times things behind the telemetry's back.
 
-``repro.obs`` is the one sanctioned timing layer: engine phases belong in
-``obs.span(...)`` and "how long did this take" scalars go through
-``obs.stopwatch()`` / ``obs.Stopwatch``, so every timing call site in
-``src/repro/`` is greppable and shows up in exported traces.  This checker
-walks the AST of every module under ``src/`` (docstrings and comments
-don't count) and reports:
+Thin delegating shim: the actual checker is the ``bare-timer`` rule of
+the unified static-analysis framework (``repro.lint``), which runs all
+rules in a single parse pass per file — see ``python -m repro lint``.
+This entry point is kept so existing invocations keep working, with
+verdicts byte-identical to the standalone checker it replaced: same
+violation lines, same summary, same exit status.
 
-* any call to a bare clock — ``time.perf_counter()``,
-  ``time.perf_counter_ns()``, ``time.monotonic()``, ``time.monotonic_ns()``,
-  ``time.time()``, ``time.time_ns()`` — outside ``repro/obs/``, and
-* any ``from time import`` of one of those names outside ``repro/obs/``.
-
-``time.sleep`` and friends are not timing reads and stay unrestricted.
-``repro/obs/`` itself is the allowlist: it has to read the clock to
-implement spans and stopwatches.
-
-Run directly (``python tools/check_instrumentation.py``) or via the
-tier-1 test ``tests/obs/test_instrumentation_lint.py``; CI runs both.
+Run directly (``python tools/check_instrumentation.py``) or use the
+framework's full rule set via the tier-1 suite ``tests/lint/``.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-#: Clock-reading callables that must not be called outside ``repro/obs/``.
-BANNED_CLOCKS = {
-    "perf_counter",
-    "perf_counter_ns",
-    "monotonic",
-    "monotonic_ns",
-    "time",
-    "time_ns",
-}
+_REPO = Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
 
-#: Modules allowed to read clocks directly: the instrumentation layer.
-ALLOWED_PREFIXES = ("repro/obs/",)
+from repro.lint import lint_file  # noqa: E402
+from repro.lint.rules_instrumentation import (  # noqa: E402
+    BANNED_CLOCKS as _BANNED_CLOCKS,
+    TIMER_ALLOWED_PREFIXES,
+)
 
+RULE_ID = "bare-timer"
 
-def _is_time_attr_call(node: ast.Call) -> str | None:
-    """``time.<clock>()`` — the attribute form (``import time`` style)."""
-    func = node.func
-    if (
-        isinstance(func, ast.Attribute)
-        and func.attr in BANNED_CLOCKS
-        and isinstance(func.value, ast.Name)
-        and func.value.id == "time"
-    ):
-        return f"time.{func.attr}"
-    return None
+#: Historical aliases for the pre-framework module constants.
+BANNED_CLOCKS = set(_BANNED_CLOCKS)
+ALLOWED_PREFIXES = TIMER_ALLOWED_PREFIXES
 
 
 def check_file(path: Path, rel: str) -> list[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    violations = []
-    # Track names imported from the time module so bare calls like
-    # ``perf_counter()`` after ``from time import perf_counter`` are caught.
-    from_time: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.module == "time":
-            banned = {a.asname or a.name for a in node.names if a.name in BANNED_CLOCKS}
-            if banned:
-                violations.append(
-                    f"{rel}:{node.lineno}: imports clock(s) {sorted(banned)} "
-                    "from time — use repro.obs (span / stopwatch) instead"
-                )
-                from_time |= banned
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = _is_time_attr_call(node)
-        if name is None and isinstance(node.func, ast.Name) and node.func.id in from_time:
-            name = node.func.id
-        if name is not None:
-            violations.append(
-                f"{rel}:{node.lineno}: bare {name}() timing call — "
-                "use repro.obs (span / stopwatch) instead"
-            )
-    return violations
+    """Violation lines for one file, in the pre-framework format."""
+    findings = lint_file(Path(path), rel=rel, rules=[RULE_ID])
+    return [f.format_legacy() for f in findings if f.rule_id == RULE_ID]
 
 
 def main(src_root: str = "src") -> int:
-    root = Path(__file__).resolve().parent.parent / src_root
+    root = _REPO / src_root
     violations: list[str] = []
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if rel.startswith(ALLOWED_PREFIXES):
-            continue
         violations.extend(check_file(path, rel))
     if violations:
         print(

@@ -1,92 +1,51 @@
 #!/usr/bin/env python
 """Fail when a legacy evaluation entry point is called inside ``src/``.
 
-The pre-front-door names (``estimate_makespan``, ``completion_curve``,
-``expected_makespan_regimen``, ``expected_makespan_cyclic``,
-``exact_completion_curve``, ``state_distribution``) are deprecation shims
-kept for *external* callers only; first-party code must go through
-``repro.evaluate.evaluate()``.  This checker walks the AST of every
-module under ``src/`` (so names in docstrings and comments don't count)
-and reports:
+Thin delegating shim: the actual checker is the ``legacy-callsite`` rule
+of the unified static-analysis framework (``repro.lint``), which runs all
+rules in a single parse pass per file — see ``python -m repro lint``.
+This entry point is kept so existing invocations (CI history, docs,
+muscle memory) keep working, with verdicts byte-identical to the
+standalone checker it replaced: same violation lines, same summary, same
+exit status.
 
-* any call whose callee name is a legacy entry point, and
-* any ``from ... import`` of a legacy name out of the modules that
-  define the shims.
-
-The engine layer itself is allowlisted: the modules that *define* the
-shims and engines legitimately contain the names (their ``def`` lines and
-cross-engine internals).  The ``repro/evaluate`` facade needs no
-exemption — it calls the private ``_``-prefixed implementations.
-
-Run directly (``python tools/check_legacy_callsites.py``) or via the
-tier-1 test ``tests/test_legacy_shims.py``; CI runs both.
+Run directly (``python tools/check_legacy_callsites.py``) or use the
+framework's full rule set via the tier-1 suite ``tests/lint/``.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-LEGACY = {
-    "estimate_makespan",
-    "completion_curve",
-    "expected_makespan_regimen",
-    "expected_makespan_cyclic",
-    "exact_completion_curve",
-    "state_distribution",
-}
+_REPO = Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
 
-#: Modules allowed to mention legacy names: the shim definitions, the
-#: engine layer they wrap, and the package re-export surfaces.
-ALLOWED = {
-    "repro/sim/montecarlo.py",
-    "repro/sim/markov.py",
-    "repro/sim/__init__.py",
-    "repro/sim/exact/__init__.py",
-    "repro/sim/exact/sparse.py",
-    "repro/sim/exact/scalar.py",
-    "repro/sim/exact/lattice.py",
-    "repro/__init__.py",
-}
+from repro.lint import lint_file  # noqa: E402
+from repro.lint.rules_dispatch import (  # noqa: E402
+    LEGACY_ALLOWED_MODULES,
+    LEGACY_ENTRY_POINTS,
+)
 
+RULE_ID = "legacy-callsite"
 
-def _callee_name(node: ast.Call) -> str | None:
-    if isinstance(node.func, ast.Name):
-        return node.func.id
-    if isinstance(node.func, ast.Attribute):
-        return node.func.attr
-    return None
+#: Historical aliases for the pre-framework module constants.
+LEGACY = set(LEGACY_ENTRY_POINTS)
+ALLOWED = set(LEGACY_ALLOWED_MODULES)
 
 
 def check_file(path: Path, rel: str) -> list[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    violations = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            name = _callee_name(node)
-            if name in LEGACY:
-                violations.append(
-                    f"{rel}:{node.lineno}: call to legacy entry point "
-                    f"{name}() — go through repro.evaluate.evaluate()"
-                )
-        elif isinstance(node, ast.ImportFrom):
-            imported = {a.name for a in node.names} & LEGACY
-            if imported:
-                violations.append(
-                    f"{rel}:{node.lineno}: imports legacy entry point(s) "
-                    f"{sorted(imported)} — go through repro.evaluate.evaluate()"
-                )
-    return violations
+    """Violation lines for one file, in the pre-framework format."""
+    findings = lint_file(Path(path), rel=rel, rules=[RULE_ID])
+    return [f.format_legacy() for f in findings if f.rule_id == RULE_ID]
 
 
 def main(src_root: str = "src") -> int:
-    root = Path(__file__).resolve().parent.parent / src_root
+    root = _REPO / src_root
     violations: list[str] = []
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if rel in ALLOWED:
-            continue
         violations.extend(check_file(path, rel))
     if violations:
         print(

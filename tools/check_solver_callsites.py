@@ -2,99 +2,50 @@
 """Fail when a concrete solver function is called or imported outside
 ``repro/algorithms/``.
 
-The capability-typed registry (``repro.algorithms.registry``) is the one
-sanctioned way for first-party code to reach a solver: dispatch through
-``solve()``, ``resolve_solver()`` / ``iter_solvers()``, or the
-``run_portfolio()`` meta-runner.  Importing a concrete solver function
-(``solve_chains``, ``serial_baseline``, ``online_greedy``, ...) bypasses
-the capability declarations — the callsite silently skips the DAG-class
-and size checks and stops appearing in registry-driven sweeps.
+Thin delegating shim: the actual checker is the ``solver-callsite`` rule
+of the unified static-analysis framework (``repro.lint``), which runs all
+rules in a single parse pass per file — see ``python -m repro lint``.
+This entry point is kept so existing invocations keep working, with
+verdicts byte-identical to the standalone checker it replaced: same
+violation lines, same summary, same exit status.
 
-This checker walks the AST of every module under ``src/`` (names in
-docstrings and comments don't count) and reports:
-
-* any call whose callee name is a concrete solver function, and
-* any ``from ... import`` of a concrete solver name outside the
-  ``repro/algorithms/`` package.
-
-The ``repro/algorithms/`` package itself is allowlisted wholesale: its
-modules define the solvers, and the registry must reference them by
-function to build the records.  Referring to solvers by their registry
-*name string* (``resolve_solver("serial")``) is always fine.
-
-Run directly (``python tools/check_solver_callsites.py``) or via the
-tier-1 test ``tests/test_solver_callsites.py``; CI runs both.
+Run directly (``python tools/check_solver_callsites.py``) or use the
+framework's full rule set via the tier-1 suite ``tests/lint/``.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-#: Concrete solver functions — the registry records' ``fn`` targets plus
-#: the ``all_baselines`` convenience bundle they replaced.
-SOLVER_FUNCTIONS = {
-    "suu_i_adaptive",
-    "suu_i_oblivious",
-    "suu_i_lp",
-    "solve_chains",
-    "solve_tree",
-    "solve_forest",
-    "solve_layered",
-    "serial_baseline",
-    "round_robin_baseline",
-    "greedy_prob_policy",
-    "random_policy",
-    "msm_eligible_policy",
-    "exact_baseline",
-    "state_round_robin_regimen",
-    "online_greedy",
-    "all_baselines",
-}
+_REPO = Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
 
-#: The package that defines the solvers and the registry that wraps them.
-ALLOWED_PREFIX = "repro/algorithms/"
+from repro.lint import lint_file  # noqa: E402
+from repro.lint.rules_dispatch import (  # noqa: E402
+    SOLVER_ALLOWED_PREFIX,
+    SOLVER_FUNCTIONS as _SOLVER_FUNCTIONS,
+)
 
+RULE_ID = "solver-callsite"
 
-def _callee_name(node: ast.Call) -> str | None:
-    if isinstance(node.func, ast.Name):
-        return node.func.id
-    if isinstance(node.func, ast.Attribute):
-        return node.func.attr
-    return None
+#: Historical aliases for the pre-framework module constants.
+SOLVER_FUNCTIONS = set(_SOLVER_FUNCTIONS)
+ALLOWED_PREFIX = SOLVER_ALLOWED_PREFIX
 
 
 def check_file(path: Path, rel: str) -> list[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    violations = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            name = _callee_name(node)
-            if name in SOLVER_FUNCTIONS:
-                violations.append(
-                    f"{rel}:{node.lineno}: call to concrete solver "
-                    f"{name}() — dispatch through the registry "
-                    "(solve / resolve_solver / run_portfolio)"
-                )
-        elif isinstance(node, ast.ImportFrom):
-            imported = {a.name for a in node.names} & SOLVER_FUNCTIONS
-            if imported:
-                violations.append(
-                    f"{rel}:{node.lineno}: imports concrete solver(s) "
-                    f"{sorted(imported)} — dispatch through the registry "
-                    "(solve / resolve_solver / run_portfolio)"
-                )
-    return violations
+    """Violation lines for one file, in the pre-framework format."""
+    findings = lint_file(Path(path), rel=rel, rules=[RULE_ID])
+    return [f.format_legacy() for f in findings if f.rule_id == RULE_ID]
 
 
 def main(src_root: str = "src") -> int:
-    root = Path(__file__).resolve().parent.parent / src_root
+    root = _REPO / src_root
     violations: list[str] = []
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if rel.startswith(ALLOWED_PREFIX):
-            continue
         violations.extend(check_file(path, rel))
     if violations:
         print(
