@@ -21,6 +21,9 @@ Subcommands
                      dispatch, timing, seed-discipline, warning, and
                      pickling contracts in one parse pass per file
 ``trace``            summarize Chrome trace-event JSON from ``evaluate --trace``
+``serve``            evaluation-as-a-service: the asyncio batch server
+                     (repro.serve) with content-hash dedup, cross-request
+                     MC batching, and an HTTP/JSON protocol
 
 Every makespan number any subcommand prints flows through
 :func:`repro.evaluate.evaluate`.
@@ -347,6 +350,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="flat per-span timing table plus counter totals of a trace file",
     )
     ts.add_argument("input", type=Path, help="trace-event .json")
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the evaluation server: POST /evaluate, GET /jobs/<id>, "
+        "GET /healthz, GET /metrics (content-hash dedup + MC batching)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8071, help="TCP port (0 picks a free one)"
+    )
+    sv.add_argument(
+        "--workers", type=int, default=4, help="worker threads bridging to the engines"
+    )
+    sv.add_argument(
+        "--max-queue", type=int, default=256, help="admitted jobs before shedding (429)"
+    )
+    sv.add_argument(
+        "--max-inflight-states",
+        type=int,
+        default=None,
+        help="cap on summed exact-route DP cells in flight "
+        "(default: the exact engine's own guard)",
+    )
+    sv.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=10.0,
+        help="how long an MC job waits for batchable company",
+    )
+    sv.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="served-result cache directory (default: .repro_cache/serve)",
+    )
+    sv.add_argument("--no-cache", action="store_true", help="disable the disk cache")
     return parser
 
 
@@ -838,6 +877,54 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import DEFAULT_SERVE_CACHE_DIR, EvaluationServer, ServerConfig
+    from .serve import protocol as serve_protocol
+
+    kwargs = {
+        "max_queue": args.max_queue,
+        "batch_window_s": args.batch_window_ms / 1000.0,
+        "workers": args.workers,
+        "cache_dir": (
+            None if args.no_cache else (args.cache_dir or DEFAULT_SERVE_CACHE_DIR)
+        ),
+    }
+    if args.max_inflight_states is not None:
+        kwargs["max_inflight_states"] = args.max_inflight_states
+    config = ServerConfig(**kwargs)
+
+    async def run() -> int:
+        async with EvaluationServer(config) as server:
+            http_srv = await serve_protocol.start_http_server(
+                server, host=args.host, port=args.port
+            )
+            bound = http_srv.sockets[0].getsockname()
+            print(
+                f"suu serve: listening on http://{bound[0]}:{bound[1]} "
+                f"(workers={config.workers}, max_queue={config.max_queue}, "
+                f"batch_window={config.batch_window_s * 1000:.0f}ms, "
+                f"cache={config.cache_dir or 'off'})",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                await http_srv.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                http_srv.close()
+                await http_srv.wait_closed()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("suu serve: shut down", file=sys.stderr)
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -855,6 +942,7 @@ def main(argv: list[str] | None = None) -> int:
         "fuzz": _cmd_fuzz,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -74,6 +74,39 @@ class CensoredEstimateWarning(UserWarning):
     """
 
 
+class ServeError(ReproError):
+    """The evaluation server rejected or failed a request."""
+
+
+class AdmissionError(ServeError):
+    """The server shed a request (queue full / in-flight state-cost guard).
+
+    Carries ``retry_after_s`` so the HTTP layer can answer with a
+    429-style response and a ``Retry-After`` header instead of queueing
+    unboundedly.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+def censored_message(truncated: int, reps: int, max_steps: int) -> str:
+    """The one canonical censoring-warning wording.
+
+    Shared by :func:`warn_censored` and the evaluation server's response
+    envelope (which reports censoring as data on the wire), so "identical
+    wording for every route" is a property of this function rather than
+    of hand-synced string literals.
+    """
+    return (
+        f"{truncated}/{reps} replications were censored at the "
+        f"{max_steps}-step budget; the reported mean is a lower bound "
+        "on the true expected makespan — enlarge max_steps or pass "
+        "require_finished=True"
+    )
+
+
 def warn_censored(truncated: int, reps: int, max_steps: int, stacklevel: int) -> None:
     """Emit the one canonical censoring warning.
 
@@ -85,11 +118,6 @@ def warn_censored(truncated: int, reps: int, max_steps: int, stacklevel: int) ->
     import warnings
 
     warnings.warn(
-        CensoredEstimateWarning(
-            f"{truncated}/{reps} replications were censored at the "
-            f"{max_steps}-step budget; the reported mean is a lower bound "
-            "on the true expected makespan — enlarge max_steps or pass "
-            "require_finished=True"
-        ),
+        CensoredEstimateWarning(censored_message(truncated, reps, max_steps)),
         stacklevel=stacklevel + 1,
     )

@@ -14,9 +14,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ValidationError
 from .request import EvaluationRequest
 
 __all__ = ["EvaluationReport"]
+
+#: ``to_dict`` keys that are *derived* views (recomputed from the real
+#: fields on access), plus the request sub-dict handled separately.
+_DERIVED_KEYS = frozenset({"exact", "ci95", "request"})
 
 
 def _jsonable_seed(seed) -> int | str | None:
@@ -164,6 +169,76 @@ class EvaluationReport:
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EvaluationReport":
+        """Inverse of :meth:`to_dict` — rebuild a report from the wire dict.
+
+        Round-trip contract (property-tested):
+        ``EvaluationReport.from_dict(r.to_dict()).to_dict() == r.to_dict()``.
+        Derived keys (``exact``, ``ci95``) are ignored on input and
+        recomputed; list-valued metrics come back as float64 arrays;
+        ``samples`` never crosses the wire (``to_dict`` drops them), so
+        the rebuilt report has ``samples=None``.
+
+        A ``request`` sub-dict serialized from a live-``Generator`` seed
+        (``to_dict`` stores its ``repr`` for provenance) is not
+        reproducible and raises :class:`~repro.errors.ValidationError`
+        rather than resurrecting a request whose seed is a string.
+        """
+        unknown = set(d) - _DERIVED_KEYS - {
+            "mode", "engine", "schedule_kind", "makespan", "std_err",
+            "n_reps", "truncated", "min", "max", "completion_curve",
+            "state_distribution", "sharded", "rounds", "precision_met",
+            "reason", "wall_time_s", "telemetry",
+        }
+        if unknown:
+            raise ValidationError(
+                f"EvaluationReport.from_dict: unknown keys {sorted(unknown)}"
+            )
+        request = None
+        req = d.get("request")
+        if req is not None:
+            seed = req.get("seed")
+            if seed is not None and not isinstance(seed, int):
+                raise ValidationError(
+                    "EvaluationReport.from_dict: the serialized request's "
+                    f"seed is {seed!r} (a live generator's repr, kept for "
+                    "provenance only) — it cannot be rebuilt into a "
+                    "reproducible request"
+                )
+            request = EvaluationRequest(**req)
+        curve = d.get("completion_curve")
+        dist = d.get("state_distribution")
+        return cls(
+            mode=d["mode"],
+            engine=d["engine"],
+            schedule_kind=d["schedule_kind"],
+            makespan=d.get("makespan"),
+            std_err=d.get("std_err", 0.0),
+            n_reps=d.get("n_reps", 0),
+            truncated=d.get("truncated", 0),
+            min=d.get("min"),
+            max=d.get("max"),
+            samples=None,
+            completion_curve=(
+                np.asarray(curve, dtype=np.float64) if curve is not None else None
+            ),
+            state_distribution=(
+                np.asarray(dist, dtype=np.float64) if dist is not None else None
+            ),
+            sharded=d.get("sharded", False),
+            rounds=d.get("rounds", 1),
+            precision_met=d.get("precision_met"),
+            reason=d.get("reason", ""),
+            wall_time_s=d.get("wall_time_s", 0.0),
+            request=request,
+            telemetry=d.get("telemetry"),
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "EvaluationReport":
+        return cls.from_dict(json.loads(payload))
 
     def __repr__(self) -> str:
         if self.makespan is None:

@@ -13,6 +13,8 @@ with a :class:`~repro.errors.ValidationError`.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +28,12 @@ __all__ = [
     "MODES",
     "ENGINES",
     "DEFAULT_BUDGET_FACTOR",
+    "REQUEST_HASH_VERSION",
 ]
+
+#: Bump to invalidate every served/cached evaluation result when request
+#: semantics change (mirrors ``ExperimentSpec.SPEC_VERSION``).
+REQUEST_HASH_VERSION = 1
 
 #: Metrics a request may ask for.  ``state_distribution`` is exact-only.
 METRICS = ("makespan", "completion_curve", "state_distribution")
@@ -157,6 +164,62 @@ class EvaluationRequest:
     def effective_budget(self) -> int:
         """Total-replication cap for the adaptive-precision loop."""
         return self.budget if self.budget is not None else DEFAULT_BUDGET_FACTOR * self.reps
+
+    # -- content hashing ---------------------------------------------------
+    def request_hash(self) -> str:
+        """Stable 16-hex-digit digest of everything that affects the answer.
+
+        The canonical-JSON hash mirrors ``ExperimentSpec.spec_hash``
+        semantics: salted with :data:`REQUEST_HASH_VERSION` and the
+        package version (so cached served results are invalidated when
+        estimation semantics change and across releases), insensitive to
+        construction spelling (``"completion-curve"`` and
+        ``"completion_curve"`` hash identically — the validator already
+        normalized the metrics), and sensitive to every knob that changes
+        the numbers: seed, reps, step budget, precision targets, engine,
+        guard caps, and shard plan.
+
+        Only reproducible requests hash: a live ``numpy`` ``Generator``
+        seed or a non-string executor instance has no stable content, so
+        the server could neither dedup nor cache it —
+        :class:`~repro.errors.ValidationError` is raised instead of
+        producing a digest that silently collides.
+        """
+        from .. import __version__
+
+        if self.seed is not None and not isinstance(self.seed, (int, np.integer)):
+            raise ValidationError(
+                "request_hash() needs a reproducible request; seed must be an "
+                f"int or None, not {type(self.seed).__name__} (a live generator "
+                "has no stable content to hash)"
+            )
+        if self.executor is not None and not isinstance(self.executor, str):
+            raise ValidationError(
+                "request_hash() needs a reproducible request; executor must be "
+                "a name ('serial'/'process') or None, not an executor instance"
+            )
+        payload = {
+            "metrics": list(self.metrics),
+            "mode": self.mode,
+            "reps": self.reps,
+            "seed": int(self.seed) if self.seed is not None else None,
+            "max_steps": self.max_steps,
+            "horizon": self.horizon,
+            "rtol": self.rtol,
+            "target_ci": self.target_ci,
+            "budget": self.budget,
+            "engine": self.engine,
+            "max_states": self.max_states,
+            "workers": self.workers,
+            "executor": self.executor,
+            "shards": self.shards,
+            "keep_samples": self.keep_samples,
+            "require_finished": self.require_finished,
+            "__version__": REQUEST_HASH_VERSION,
+            "__package_version__": __version__,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
     # -- the one validator ------------------------------------------------
     def validate(self) -> None:

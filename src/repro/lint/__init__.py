@@ -2,7 +2,7 @@
 
 One engine, many rules: each file under ``src/`` is parsed and walked
 exactly once per run, and every registered :class:`Rule` receives the AST
-events it declared hooks for.  The six built-in rules guard the repo's
+events it declared hooks for.  The seven built-in rules guard the repo's
 standing contracts:
 
 ========================  ====================================================
@@ -14,6 +14,7 @@ rule id                   contract guarded
 ``seed-discipline``       all randomness threads an explicit ``Generator``
 ``typed-warning``         warnings carry a typed class + explicit stacklevel
 ``fork-safe-task``        executor task payloads survive the pickle boundary
+``blocking-in-async``     the serving layer never blocks its event loop
 ========================  ====================================================
 
 Findings can be suppressed per line with ``# lint: disable=<rule-id>``
@@ -28,7 +29,7 @@ from .findings import Finding
 from .suppress import UNUSED_SUPPRESSION_ID, SuppressionIndex
 
 # Importing the rule modules populates the registry as a side effect.
-from . import rules_determinism, rules_dispatch, rules_instrumentation  # noqa: F401  isort: skip
+from . import rules_async, rules_determinism, rules_dispatch, rules_instrumentation  # noqa: F401  isort: skip
 
 __all__ = [
     "Rule",

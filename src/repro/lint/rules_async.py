@@ -1,0 +1,136 @@
+"""Async-hygiene rule: the serving layer must never block its event loop.
+
+``blocking-in-async`` is scoped to ``repro/serve/`` — the one package
+that runs an asyncio event loop — and bans the three classic ways a
+coroutine quietly freezes the whole server:
+
+* ``time.sleep`` (including ``from time import sleep`` aliases): parks
+  the loop thread; use ``await asyncio.sleep`` or hand the work to the
+  worker pool.
+* blocking ``subprocess`` use (``run``/``call``/``check_*``/``Popen``,
+  or importing the module at all): the server's compute goes through
+  ``repro.parallel`` executors bridged with ``run_in_executor``, never
+  ad-hoc child processes.
+* bare ``asyncio.get_event_loop()``: deprecated outside a running loop
+  and a latent "attached to the wrong loop" bug inside one; use
+  ``asyncio.get_running_loop()`` (or ``asyncio.run`` at the top level).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, register
+
+__all__ = ["BlockingInAsyncRule"]
+
+#: The rule applies only inside the asyncio serving layer.
+SERVE_PREFIXES = ("repro/serve/",)
+
+#: ``subprocess`` entry points that block until the child exits (and
+#: ``Popen``, whose ``wait``/``communicate`` do) — all of them banned in
+#: the serving layer, where child processes go through ``repro.parallel``.
+BLOCKING_SUBPROCESS = frozenset(
+    {"run", "call", "check_call", "check_output", "Popen", "getoutput", "getstatusoutput"}
+)
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    """The event loop must stay free: no sync sleeps, child waits, or
+    pre-3.10 loop acquisition inside ``repro/serve/`` (this PR)."""
+
+    id = "blocking-in-async"
+    description = (
+        "time.sleep / blocking subprocess calls / bare asyncio.get_event_loop() "
+        "inside repro/serve/ block or misbind the event loop; use asyncio.sleep, "
+        "the worker pool (run_in_executor -> repro.parallel), and "
+        "asyncio.get_running_loop()"
+    )
+
+    def exempt(self, rel: str) -> bool:
+        # Inverted scoping: every file *outside* the serving layer is
+        # exempt — the ban is an event-loop contract, not a global one.
+        return not rel.startswith(SERVE_PREFIXES)
+
+    def start_file(self, ctx) -> None:
+        #: Local names bound to banned callables by ``from x import y``.
+        self._from_aliases: dict[str, str] = {}
+        self._name_calls: list[ast.Call] = []
+
+    # -- imports ---------------------------------------------------------
+    def visit_Import(self, node: ast.Import, ctx) -> None:
+        for alias in node.names:
+            if alias.name == "subprocess" or alias.name.startswith("subprocess."):
+                ctx.report(
+                    self,
+                    node,
+                    "imports subprocess in the serving layer — child processes "
+                    "go through repro.parallel executors, never ad-hoc "
+                    "blocking subprocess calls",
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    ctx.report(
+                        self,
+                        node,
+                        "imports sleep from time — a sync sleep parks the "
+                        "event loop; await asyncio.sleep instead",
+                    )
+                    self._from_aliases[alias.asname or alias.name] = "time.sleep"
+        elif node.module == "subprocess":
+            banned = [a for a in node.names if a.name in BLOCKING_SUBPROCESS]
+            if banned:
+                names = sorted(a.name for a in banned)
+                ctx.report(
+                    self,
+                    node,
+                    f"imports blocking subprocess callable(s) {names} — the "
+                    "serving layer runs compute via repro.parallel executors",
+                )
+                for a in banned:
+                    self._from_aliases[a.asname or a.name] = f"subprocess.{a.name}"
+        elif node.module == "asyncio":
+            for alias in node.names:
+                if alias.name == "get_event_loop":
+                    self._from_aliases[alias.asname or alias.name] = (
+                        "asyncio.get_event_loop"
+                    )
+
+    # -- calls -----------------------------------------------------------
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            qualified = f"{func.value.id}.{func.attr}"
+            if qualified == "time.sleep":
+                self._report(node, qualified, ctx)
+            elif func.value.id == "subprocess" and func.attr in BLOCKING_SUBPROCESS:
+                self._report(node, qualified, ctx)
+            elif qualified == "asyncio.get_event_loop":
+                self._report(node, qualified, ctx)
+        elif isinstance(func, ast.Name):
+            self._name_calls.append(node)
+
+    def finish_file(self, ctx) -> None:
+        for node in self._name_calls:
+            qualified = self._from_aliases.get(node.func.id)
+            if qualified is not None:
+                self._report(node, qualified, ctx)
+
+    def _report(self, node: ast.Call, qualified: str, ctx) -> None:
+        fixes = {
+            "time.sleep": "await asyncio.sleep (or move the wait off-loop)",
+            "asyncio.get_event_loop": "asyncio.get_running_loop()",
+        }
+        fix = fixes.get(
+            qualified, "repro.parallel executors via loop.run_in_executor"
+        )
+        ctx.report(
+            self,
+            node,
+            f"{qualified}() blocks or misbinds the event loop in the serving "
+            f"layer — use {fix}",
+        )

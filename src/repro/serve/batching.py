@@ -1,0 +1,279 @@
+"""Cross-request Monte Carlo batching with a bitwise-parity guarantee.
+
+Many clients asking about the same instance (under any schedule whose
+MC route is the vectorized lockstep engine) can share per-step work: the
+eligibility reduction ``finished @ pred_matrix`` depends only on the
+instance DAG, so one matmul over the *stacked* finished matrix of every
+pending request replaces one matmul per request.
+
+The non-negotiable contract is **bitwise identity with solo
+``evaluate()``**: each member keeps its own ``as_rng(seed)`` generator
+and the runner replicates the exact control flow of
+:func:`repro.sim.montecarlo._vectorized_oblivious` per member — the
+same per-member horizon, the same ``done/q/attempt`` skip conditions
+gating each draw, the same ``rng.random((reps, n))`` shapes in the same
+order — so each member's stream consumption is indistinguishable from a
+solo run.  Only the RNG-free eligibility matmul is shared, and since
+its entries are exact small integers in float64 (sums of 0/1 products),
+stacking rows cannot change a single bit of any member's result.
+
+Batch *compatibility* (one group = one lockstep run) follows the
+server's grouping key: same instance content hash, same schedule kind,
+same step convention (the run's observed step budget).  Within a group,
+schedules and seeds may differ freely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from .._util import as_rng
+from ..core.instance import SUUInstance
+from ..core.schedule import CyclicSchedule, ObliviousSchedule
+from ..errors import warn_censored
+from ..evaluate.dispatch import Route, schedule_kind
+from ..evaluate.report import EvaluationReport
+from ..evaluate.request import EvaluationRequest
+from ..sim.montecarlo import _per_step_success, censored_completion_cdf
+from .keys import instance_hash
+
+__all__ = ["BatchMember", "batchable_request", "batch_signature", "run_batched_group"]
+
+#: Metrics the lockstep group runner can assemble (everything else routes
+#: solo through ``evaluate()``).
+_BATCHABLE_METRICS = frozenset({"makespan", "completion_curve"})
+
+
+def run_max_steps_for(request: EvaluationRequest) -> int:
+    """The step budget the MC run actually observes (facade convention).
+
+    A curve-only request observes exactly ``horizon`` steps (legacy
+    ``completion_curve`` semantics); anything else observes
+    ``max_steps``.  Mirrors ``repro.evaluate.facade._run_mc``.
+    """
+    if "completion_curve" in request.metrics and "makespan" not in request.metrics:
+        return request.horizon
+    return request.max_steps
+
+
+def batchable_request(request: EvaluationRequest, route: Route, schedule) -> bool:
+    """Can this (request, route, schedule) join a lockstep batch group?
+
+    Exactly the envelope in which solo ``evaluate()`` would run the
+    vectorized ``oblivious-lockstep`` engine in a single round: plain MC
+    (no adaptive precision, no shards), ``engine="auto"``, an
+    oblivious/cyclic table, batchable metrics, and censoring reported
+    rather than escalated (``require_finished`` raises mid-run, which a
+    shared run cannot unwind for one member).
+    """
+    return (
+        route.mode == "mc"
+        and not route.sharded
+        and route.engine == "auto"
+        and not request.wants_precision
+        and not request.require_finished
+        and isinstance(schedule, (ObliviousSchedule, CyclicSchedule))
+        and set(request.metrics) <= _BATCHABLE_METRICS
+    )
+
+
+def batch_signature(
+    instance: SUUInstance, schedule, request: EvaluationRequest
+) -> tuple[str, str, int]:
+    """Grouping key: requests with equal signatures share one lockstep run."""
+    return (
+        instance_hash(instance),
+        schedule_kind(schedule),
+        run_max_steps_for(request),
+    )
+
+
+@dataclass
+class BatchMember:
+    """One request's slot in a batched lockstep run."""
+
+    instance: SUUInstance
+    schedule: ObliviousSchedule | CyclicSchedule
+    request: EvaluationRequest
+    route: Route
+
+
+@dataclass
+class _MemberState:
+    """Per-member simulation state mirroring the solo engine's locals."""
+
+    rng: np.random.Generator
+    reps: int
+    horizon: int
+    prefix_q: np.ndarray
+    cycle_q: np.ndarray | None
+    prefix_len: int
+    lo: int  # row offset into the stacked finished matrix
+    hi: int
+    makespan: np.ndarray
+    done_reps: np.ndarray
+
+
+def _member_state(member: BatchMember, lo: int, q_cache: dict) -> _MemberState:
+    instance, schedule, request = member.instance, member.schedule, member.request
+    reps = request.reps
+    max_steps = run_max_steps_for(request)
+    if isinstance(schedule, ObliviousSchedule):
+        key = ("oblivious", id(schedule))
+        if key not in q_cache:
+            q_cache[key] = (_per_step_success(instance, schedule.table), None)
+        prefix_q, cycle_q = q_cache[key]
+        prefix_len = schedule.length
+        horizon = min(max_steps, schedule.length)
+    else:
+        key = ("cyclic", id(schedule))
+        if key not in q_cache:
+            q_cache[key] = (
+                _per_step_success(instance, schedule.prefix.table),
+                _per_step_success(instance, schedule.cycle.table),
+            )
+        prefix_q, cycle_q = q_cache[key]
+        prefix_len = schedule.prefix_length
+        horizon = max_steps
+    return _MemberState(
+        rng=as_rng(member.request.seed),
+        reps=reps,
+        horizon=horizon,
+        prefix_q=prefix_q,
+        cycle_q=cycle_q,
+        prefix_len=prefix_len,
+        lo=lo,
+        hi=lo + reps,
+        makespan=np.full(reps, max_steps, dtype=np.int64),
+        done_reps=np.zeros(reps, dtype=bool),
+    )
+
+
+def run_batched_group(members: list[BatchMember]) -> list[EvaluationReport]:
+    """Run every member through one shared lockstep loop.
+
+    Returns one :class:`EvaluationReport` per member, in input order,
+    field-for-field identical to what solo ``evaluate()`` would have
+    produced at the same seed (``wall_time_s`` excepted — the server
+    stamps it) — including one
+    :class:`~repro.errors.CensoredEstimateWarning` per censored member,
+    in the facade's canonical wording.
+    """
+    if not members:
+        return []
+    instance = members[0].instance
+    n = instance.n
+    dag = instance.dag
+    pred_lists = [dag.predecessors(j) for j in range(n)]
+    pred_counts = np.array([len(pl) for pl in pred_lists], dtype=np.int64)
+    has_preds = pred_counts > 0
+    pred_matrix = np.zeros((n, n), dtype=np.float64)
+    for j, pl in enumerate(pred_lists):
+        for u in pl:
+            pred_matrix[u, j] = 1.0
+
+    q_cache: dict = {}
+    states: list[_MemberState] = []
+    lo = 0
+    for member in members:
+        state = _member_state(member, lo, q_cache)
+        states.append(state)
+        lo = state.hi
+    total_reps = lo
+    finished = np.zeros((total_reps, n), dtype=bool)
+
+    group_horizon = max(s.horizon for s in states)
+    with obs.span(
+        "serve.batch.run",
+        members=len(members),
+        total_reps=total_reps,
+        horizon=group_horizon,
+    ):
+        for t in range(group_horizon):
+            if all(s.done_reps.all() or t >= s.horizon for s in states):
+                break
+            # The shared work: one eligibility reduction over every
+            # member's replications.  RNG-free and exact (0/1 sums in
+            # float64), so sharing it cannot perturb any member's bits.
+            if has_preds.any():
+                finished_pred_count = finished.astype(np.float64) @ pred_matrix
+                all_eligible = finished_pred_count >= pred_counts[None, :]
+            else:
+                all_eligible = None
+            for s in states:
+                # Replicate the solo engine's control flow bit for bit:
+                # a member past its horizon (or fully done) stops
+                # consuming its stream exactly where solo would.
+                if t >= s.horizon or s.done_reps.all():
+                    continue
+                if t < s.prefix_len:
+                    q = s.prefix_q[t]
+                elif s.cycle_q is not None:
+                    q = s.cycle_q[(t - s.prefix_len) % s.cycle_q.shape[0]]
+                else:  # pragma: no cover - horizon bound prevents this
+                    continue
+                if not q.any():
+                    continue
+                fin = finished[s.lo : s.hi]
+                if all_eligible is not None:
+                    eligible = all_eligible[s.lo : s.hi]
+                else:
+                    eligible = np.ones((s.reps, n), dtype=bool)
+                attempt = (~fin) & eligible & (q[None, :] > 0)
+                if not attempt.any():
+                    continue
+                draws = s.rng.random((s.reps, n))
+                newly = attempt & (draws < q[None, :])
+                fin |= newly
+                just_done = (~s.done_reps) & fin.all(axis=1)
+                s.makespan[just_done] = t + 1
+                s.done_reps |= just_done
+
+    reports = []
+    for member, state in zip(members, states):
+        reports.append(_assemble_report(member, state))
+    return reports
+
+
+def _assemble_report(member: BatchMember, state: _MemberState) -> EvaluationReport:
+    """Build the member's report exactly as the solo facade would."""
+    request, route = member.request, member.route
+    samples = state.makespan
+    reps = state.reps
+    truncated = int((~state.done_reps).sum())
+    run_max_steps = run_max_steps_for(request)
+    obs.add("mc.reps", reps)
+    obs.add("mc.truncated", truncated)
+    if truncated:
+        warn_censored(truncated, reps, run_max_steps, stacklevel=2)
+    values = samples.astype(np.float64)
+    mean = float(values.mean())
+    std_err = float(values.std(ddof=1) / math.sqrt(reps)) if reps > 1 else 0.0
+    curve = None
+    if "completion_curve" in request.metrics:
+        curve = censored_completion_cdf(samples, truncated, run_max_steps)[
+            : request.horizon
+        ]
+    wants_makespan = "makespan" in request.metrics
+    return EvaluationReport(
+        mode="mc",
+        engine="oblivious-lockstep",
+        schedule_kind=schedule_kind(member.schedule),
+        makespan=mean if wants_makespan else None,
+        std_err=std_err if wants_makespan else 0.0,
+        n_reps=reps,
+        truncated=truncated,
+        min=float(values.min()) if wants_makespan else None,
+        max=float(values.max()) if wants_makespan else None,
+        samples=samples if request.keep_samples else None,
+        completion_curve=curve,
+        sharded=False,
+        rounds=1,
+        precision_met=None,
+        reason=route.reason,
+        request=request,
+    )

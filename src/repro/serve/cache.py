@@ -1,0 +1,115 @@
+"""Result cache for the evaluation server: in-memory LRU over disk JSON.
+
+The disk layer is deliberately the experiment runner's discipline
+(:mod:`repro.experiments.runner`) applied to served evaluations: a plain
+directory of self-describing JSON files keyed by content hash —
+inspectable, diffable, safe to delete wholesale — living at
+``.repro_cache/serve/`` beside ``.repro_cache/experiments/``.  Every
+entry carries :data:`SERVE_CACHE_SCHEMA_VERSION`; a version-mismatched
+entry warns (:class:`~repro.errors.StaleCacheWarning`) and reads as a
+miss so stale numbers are never silently replayed, while plain
+corruption stays a quiet miss.
+
+The in-memory layer is a bounded LRU of deserialized
+:class:`~repro.evaluate.report.EvaluationReport` wire dicts, so a hot
+key never touches the filesystem twice.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from collections import OrderedDict
+from pathlib import Path
+
+from ..errors import StaleCacheWarning
+
+__all__ = ["ResultCache", "DEFAULT_SERVE_CACHE_DIR", "SERVE_CACHE_SCHEMA_VERSION"]
+
+#: Default on-disk cache location, a sibling of the experiments cache.
+DEFAULT_SERVE_CACHE_DIR = Path(".repro_cache") / "serve"
+
+#: Schema of cached served-report JSON.  Bump when the wire shape of
+#: ``EvaluationReport.to_dict()`` (or the meaning of a recorded field)
+#: changes; mismatched entries are discarded loudly, never reinterpreted.
+SERVE_CACHE_SCHEMA_VERSION = 1
+
+
+class ResultCache:
+    """Two-level (LRU memory, JSON disk) cache of served report dicts.
+
+    Stores and returns the *wire dict* (``EvaluationReport.to_dict()``
+    output), not report objects: the server replays cache hits onto the
+    wire byte-identically without a decode/re-encode round trip, and
+    tests rebuild reports via ``EvaluationReport.from_dict`` when they
+    need the object.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Path | str | None = DEFAULT_SERVE_CACHE_DIR,
+        memory_entries: int = 256,
+    ):
+        self._dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._memory_entries = int(memory_entries)
+
+    # -- paths -----------------------------------------------------------
+    def path_for(self, key: str) -> Path | None:
+        return self._dir / f"{key}.json" if self._dir is not None else None
+
+    # -- lookup ----------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The cached wire dict for ``key``, or None on miss/stale/corrupt."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            return hit
+        path = self.path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None  # corrupt entry: recompute and rewrite
+        version = entry.get("schema_version") if isinstance(entry, dict) else None
+        if version != SERVE_CACHE_SCHEMA_VERSION:
+            warnings.warn(
+                StaleCacheWarning(
+                    f"discarding stale serve-cache entry {path.name}: written "
+                    f"under schema_version={version!r}, this server writes "
+                    f"{SERVE_CACHE_SCHEMA_VERSION}; recomputing instead of "
+                    "replaying"
+                ),
+                stacklevel=3,
+            )
+            return None
+        report = entry.get("report")
+        if not isinstance(report, dict):
+            return None
+        self._remember(key, report)
+        return report
+
+    # -- store -----------------------------------------------------------
+    def put(self, key: str, report_dict: dict) -> None:
+        self._remember(key, report_dict)
+        path = self.path_for(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema_version": SERVE_CACHE_SCHEMA_VERSION,
+            "key": key,
+            "report": report_dict,
+        }
+        path.write_text(json.dumps(entry, indent=2))
+
+    def _remember(self, key: str, report_dict: dict) -> None:
+        self._memory[key] = report_dict
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -211,6 +211,65 @@ class TestWarningRuleDetails:
         assert "stacklevel" in findings[0].message
 
 
+class TestBlockingInAsyncRuleDetails:
+    """``blocking-in-async`` is path-scoped to ``repro/serve/`` (the one
+    asyncio package), so its kill-tests pin ``rel`` inside that tree
+    instead of joining the shared table (whose ``bad.py`` rel would be
+    exempt by design)."""
+
+    VIOLATING = (
+        "import time\n"
+        "import asyncio\n"
+        "import subprocess\n"
+        "from subprocess import check_output\n"
+        "async def handler():\n"
+        "    loop = asyncio.get_event_loop()\n"
+        "    time.sleep(0.1)\n"
+        "    subprocess.run(['ls'])\n"
+        "    check_output(['ls'])\n"
+    )
+
+    def test_kills_every_blocking_construct(self, tmp_path):
+        bad = tmp_path / "worker.py"
+        bad.write_text(self.VIOLATING)
+        findings = lint_file(
+            bad, rel="repro/serve/worker.py", rules=["blocking-in-async"]
+        )
+        # the subprocess import, the from-import, and the four calls
+        assert len(findings) == 6, [f.format() for f in findings]
+        assert all(f.rule_id == "blocking-in-async" for f in findings)
+        assert any("event loop" in f.message for f in findings)
+
+    def test_outside_serve_is_exempt(self, tmp_path):
+        # The same file is clean anywhere else: sync sleeps and child
+        # processes are legitimate outside the event-loop package.
+        bad = tmp_path / "worker.py"
+        bad.write_text(self.VIOLATING)
+        assert (
+            lint_file(bad, rel="repro/parallel/worker.py", rules=["blocking-in-async"])
+            == []
+        )
+
+    def test_aliased_sleep_import_is_caught(self, tmp_path):
+        bad = tmp_path / "srv.py"
+        bad.write_text("from time import sleep as nap\nnap(1.0)\n")
+        findings = lint_file(bad, rel="repro/serve/srv.py", rules=["blocking-in-async"])
+        assert len(findings) == 2  # the import and the aliased call
+
+    def test_async_idioms_pass_clean(self, tmp_path):
+        ok = tmp_path / "srv.py"
+        ok.write_text(
+            "import asyncio\n"
+            "async def handler(pool, fn):\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await asyncio.sleep(0.01)\n"
+            "    return await loop.run_in_executor(pool, fn)\n"
+        )
+        assert (
+            lint_file(ok, rel="repro/serve/srv.py", rules=["blocking-in-async"]) == []
+        )
+
+
 class TestForkSafeRuleDetails:
     def test_fn_keyword_form_is_checked(self, tmp_path):
         bad = tmp_path / "bad.py"

@@ -1,0 +1,93 @@
+"""Content-addressed job identity: rename-insensitive, knob-sensitive.
+
+Satellite acceptance: two instances differing only in their cosmetic
+``name`` coalesce to one job key, while every knob that changes the
+numbers (seed, reps, schedule content) changes the key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PrecedenceDAG, SUUInstance
+from repro.algorithms.baselines import state_round_robin_regimen
+from repro.core.schedule import CyclicSchedule, ObliviousSchedule
+from repro.errors import ValidationError
+from repro.evaluate import EvaluationRequest
+from repro.serve import instance_hash, job_key, schedule_hash
+
+
+@pytest.fixture
+def inst():
+    p = np.array([[0.9, 0.2, 0.5], [0.3, 0.8, 0.4]])
+    return SUUInstance(p, PrecedenceDAG(3, [(0, 2)]), name="original")
+
+
+@pytest.fixture
+def renamed(inst):
+    return SUUInstance(inst.p.copy(), inst.dag, name="renamed-copy")
+
+
+class TestInstanceHash:
+    def test_rename_insensitive(self, inst, renamed):
+        assert instance_hash(inst) == instance_hash(renamed)
+
+    def test_content_sensitive(self, inst):
+        bumped = SUUInstance(inst.p * 0.5, inst.dag, name="original")
+        assert instance_hash(bumped) != instance_hash(inst)
+
+    def test_dag_sensitive(self, inst):
+        rewired = SUUInstance(inst.p.copy(), PrecedenceDAG(3, [(0, 1)]))
+        assert instance_hash(rewired) != instance_hash(inst)
+
+
+class TestScheduleHash:
+    def test_tables_hash_their_content(self):
+        a = ObliviousSchedule(np.array([[0, 1, 2]], dtype=np.int32))
+        b = ObliviousSchedule(np.array([[0, 1, 2]], dtype=np.int32))
+        c = ObliviousSchedule(np.array([[2, 1, 0]], dtype=np.int32))
+        assert schedule_hash(a) == schedule_hash(b)
+        assert schedule_hash(a) != schedule_hash(c)
+
+    def test_cyclic_differs_from_oblivious_same_table(self):
+        table = np.array([[0, 1, 2]], dtype=np.int32)
+        obl = ObliviousSchedule(table)
+        cyc = CyclicSchedule(ObliviousSchedule.empty(3), ObliviousSchedule(table))
+        assert schedule_hash(obl) != schedule_hash(cyc)
+
+    def test_solver_names_are_content(self):
+        assert schedule_hash("serial") == schedule_hash("serial")
+        assert schedule_hash("serial") != schedule_hash("round-robin")
+
+    def test_name_never_collides_with_a_table(self):
+        # A solver name digests under a distinct payload kind, so it can
+        # never alias a table whose JSON happens to match.
+        table = ObliviousSchedule(np.array([[0, 1, 2]], dtype=np.int32))
+        assert schedule_hash("serial") != schedule_hash(table)
+
+    def test_unserializable_schedules_are_rejected(self, inst):
+        regimen = state_round_robin_regimen(inst).schedule
+        with pytest.raises(ValidationError, match="cannot hash"):
+            schedule_hash(regimen)
+
+
+class TestJobKey:
+    def test_rename_insensitive(self, inst, renamed):
+        sched = ObliviousSchedule(np.array([[0, 1, 2]], dtype=np.int32))
+        req = EvaluationRequest(mode="mc", reps=50, seed=7)
+        assert job_key(inst, sched, req) == job_key(renamed, sched, req)
+
+    def test_seed_and_reps_sensitive(self, inst):
+        sched = ObliviousSchedule(np.array([[0, 1, 2]], dtype=np.int32))
+        base = job_key(inst, sched, EvaluationRequest(mode="mc", reps=50, seed=7))
+        assert base != job_key(inst, sched, EvaluationRequest(mode="mc", reps=50, seed=8))
+        assert base != job_key(inst, sched, EvaluationRequest(mode="mc", reps=51, seed=7))
+
+    def test_name_submitted_vs_table_submitted_stay_distinct(self, inst):
+        # Registry sugar hashes the *name*: the built table is derived
+        # content, and conflating the two would replay a name-submission
+        # against a hand-built table's cache entry.
+        req = EvaluationRequest(mode="mc", reps=50, seed=7)
+        table = ObliviousSchedule(np.array([[0, 1, 2]], dtype=np.int32))
+        assert job_key(inst, "serial", req) != job_key(inst, table, req)
